@@ -1,0 +1,202 @@
+// Package sparsedysta's root benchmark suite: one testing.B benchmark per
+// paper table and figure (regenerating the artefact end to end at the
+// quick protocol), plus micro-benchmarks of the core machinery. The
+// experiment index lives in DESIGN.md §4; `go run ./cmd/dysta-bench` is
+// the interactive front end with the paper-scale protocol.
+package sparsedysta
+
+import (
+	"testing"
+
+	"sparsedysta/internal/accel"
+	"sparsedysta/internal/core"
+	"sparsedysta/internal/exp"
+	"sparsedysta/internal/models"
+	"sparsedysta/internal/rng"
+	"sparsedysta/internal/sched"
+	"sparsedysta/internal/sparsity"
+	"sparsedysta/internal/trace"
+	"sparsedysta/internal/workload"
+)
+
+// benchOpts is the protocol used by the per-experiment benchmarks: small
+// enough that the full `go test -bench=.` pass stays in minutes.
+func benchOpts() exp.Options {
+	return exp.Options{
+		Seeds:          1,
+		Requests:       200,
+		ProfileSamples: 30,
+		EvalSamples:    100,
+		DatasetSamples: 400,
+	}
+}
+
+// runExp executes one registered experiment b.N times.
+func runExp(b *testing.B, id string) {
+	b.Helper()
+	runner, err := exp.Lookup(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := benchOpts()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := runner(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// One benchmark per paper artefact (DESIGN.md §4).
+
+func BenchmarkFig2(b *testing.B)   { runExp(b, "fig2") }
+func BenchmarkFig3(b *testing.B)   { runExp(b, "fig3") }
+func BenchmarkTable2(b *testing.B) { runExp(b, "table2") }
+func BenchmarkFig4(b *testing.B)   { runExp(b, "fig4") }
+func BenchmarkFig5(b *testing.B)   { runExp(b, "fig5") }
+func BenchmarkFig9(b *testing.B)   { runExp(b, "fig9") }
+func BenchmarkTable4(b *testing.B) { runExp(b, "table4") }
+func BenchmarkTable5(b *testing.B) { runExp(b, "table5") }
+func BenchmarkFig12(b *testing.B)  { runExp(b, "fig12") }
+func BenchmarkFig13(b *testing.B)  { runExp(b, "fig13") }
+func BenchmarkFig14(b *testing.B)  { runExp(b, "fig14") }
+func BenchmarkFig15(b *testing.B)  { runExp(b, "fig15") }
+func BenchmarkFig16(b *testing.B)  { runExp(b, "fig16") }
+func BenchmarkTable6(b *testing.B) { runExp(b, "table6") }
+
+// Micro-benchmarks of the machinery behind the experiments.
+
+// benchWorkload builds a reusable AttNN pipeline + request stream once.
+func benchWorkload(b *testing.B) (*trace.StatsSet, []*workload.Request) {
+	b.Helper()
+	sc := workload.MultiAttNN()
+	prof, eval, err := workload.BuildStores(sc, 30, 100, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lut, err := trace.NewStatsSet(prof)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reqs, err := workload.Generate(sc, eval, workload.GenConfig{
+		Requests: 500, RatePerSec: 30, SLOMultiplier: 10, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return lut, reqs
+}
+
+// BenchmarkEngineSJF measures the discrete-event engine's end-to-end
+// throughput under a cheap scheduler (500 requests per iteration).
+func BenchmarkEngineSJF(b *testing.B) {
+	lut, reqs := benchWorkload(b)
+	est := sched.NewEstimator(lut)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sched.Run(sched.NewSJF(est), reqs, sched.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineDysta measures the engine under the full Dysta scheduler
+// (per-layer predictor updates + full queue re-scoring).
+func BenchmarkEngineDysta(b *testing.B) {
+	lut, reqs := benchWorkload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sched.Run(core.NewDefault(lut), reqs, sched.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPredictor measures one Observe+Remaining predictor step.
+func BenchmarkPredictor(b *testing.B) {
+	sc := workload.MultiAttNN()
+	prof, _, err := workload.BuildStores(sc, 30, 1, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lut, err := trace.NewStatsSet(prof)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := lut.MustLookup(trace.Key{Model: "bert", Pattern: sparsity.Dense})
+	p := core.NewPredictor(core.DefaultConfig(), st)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		layer := i % (st.NumLayers() - 1)
+		p.Observe(layer, 0.9)
+		_ = p.Remaining(layer + 1)
+	}
+}
+
+// BenchmarkTraceBuild measures Phase 1 throughput: hardware-simulating
+// one BERT sample (12 transformer blocks).
+func BenchmarkTraceBuild(b *testing.B) {
+	m := models.BERTBase()
+	sc := workload.MultiAttNN()
+	for i := 0; i < b.N; i++ {
+		if _, err := trace.Build(sc.Accel, trace.BuildConfig{
+			Model: m, Samples: 1, Seed: uint64(i) + 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMaskGenerate measures weight-mask generation for a
+// ResNet-50-scale convolution.
+func BenchmarkMaskGenerate(b *testing.B) {
+	r := rng.New(1)
+	cfg := sparsity.MaskConfig{Cin: 512, Cout: 512, KH: 3, KW: 3, Rate: 0.9}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sparsity.Generate(r, sparsity.RandomPointwise, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWorkloadGenerate measures request-stream sampling.
+func BenchmarkWorkloadGenerate(b *testing.B) {
+	sc := workload.MultiAttNN()
+	_, eval, err := workload.BuildStores(sc, 10, 100, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := workload.Generate(sc, eval, workload.GenConfig{
+			Requests: 1000, RatePerSec: 30, SLOMultiplier: 10, Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLayerLatency measures one analytical Eyeriss-V2 layer
+// evaluation.
+func BenchmarkLayerLatency(b *testing.B) {
+	sc := workload.MultiCNN()
+	l := models.ResNet50().Layers[10]
+	sp := accel.LayerSparsity{
+		Pattern:            sparsity.RandomPointwise,
+		WeightRate:         0.8,
+		ActivationSparsity: 0.45,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sc.Accel.LayerLatency(l, sp)
+	}
+}
+
+// Ablation benches (DESIGN.md §5 design-choice studies).
+
+func BenchmarkAblationBeta(b *testing.B)     { runExp(b, "ablation-beta") }
+func BenchmarkAblationEta(b *testing.B)      { runExp(b, "ablation-eta") }
+func BenchmarkAblationStrategy(b *testing.B) { runExp(b, "ablation-strategy") }
+func BenchmarkAblationPenalty(b *testing.B)  { runExp(b, "ablation-penalty") }
+func BenchmarkAblationDemotion(b *testing.B) { runExp(b, "ablation-demotion") }
+func BenchmarkAblationOverhead(b *testing.B) { runExp(b, "ablation-overhead") }
+func BenchmarkAblationFIFO(b *testing.B)     { runExp(b, "ablation-fifo") }
+func BenchmarkAblationGLB(b *testing.B)      { runExp(b, "ablation-glb") }

@@ -1,0 +1,154 @@
+// Command dysta-sim runs a single multi-DNN scheduling simulation with
+// full control over the workload and scheduler, printing the metrics of
+// paper §6.1 (ANTT, SLO violation rate, throughput).
+//
+// Usage:
+//
+//	dysta-sim -workload attnn -sched Dysta -rate 30 -mslo 10
+//	dysta-sim -workload cnn -sched all -rate 3 -seeds 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"text/tabwriter"
+	"time"
+
+	"sparsedysta/internal/core"
+	"sparsedysta/internal/exp"
+	"sparsedysta/internal/sched"
+	"sparsedysta/internal/workload"
+)
+
+func main() {
+	var (
+		wl       = flag.String("workload", "attnn", "workload scenario: attnn, cnn, or a path to a JSON spec (see -dump-spec)")
+		schedArg = flag.String("sched", "all", "scheduler: FCFS, SJF, SDRM3, PREMA, Planaria, Dysta, Dysta-w/o-sparse, Oracle, or 'all'")
+		rate     = flag.Float64("rate", 0, "arrival rate in req/s (0 = scenario default: 30 attnn, 3 cnn)")
+		mslo     = flag.Float64("mslo", 10, "latency SLO multiplier")
+		requests = flag.Int("requests", 1000, "requests per run")
+		seeds    = flag.Int("seeds", 5, "seeds to average")
+		profileN = flag.Int("profile-samples", 100, "offline profiling samples per model-pattern pair")
+		evalN    = flag.Int("eval-samples", 400, "evaluation trace pool per model-pattern pair")
+		eta      = flag.Float64("eta", core.DefaultConfig().Eta, "Dysta eta (dynamic slack weight)")
+		beta     = flag.Float64("beta", core.DefaultConfig().Beta, "Dysta beta (static slack weight)")
+		dumpSpec = flag.Bool("dump-spec", false, "print the selected scenario as a JSON spec and exit")
+		perModel = flag.Bool("per-model", false, "also print the per-model metric breakdown")
+	)
+	flag.Parse()
+
+	var sc workload.Scenario
+	switch *wl {
+	case "attnn":
+		sc = workload.MultiAttNN()
+		if *rate == 0 {
+			*rate = 30
+		}
+	case "cnn":
+		sc = workload.MultiCNN()
+		if *rate == 0 {
+			*rate = 3
+		}
+	default:
+		f, err := os.Open(*wl)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "workload %q is not attnn/cnn and not a readable spec: %v\n", *wl, err)
+			os.Exit(2)
+		}
+		sc, err = workload.LoadSpec(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if *rate == 0 {
+			*rate = 10
+		}
+	}
+	if *dumpSpec {
+		if err := workload.SaveSpec(os.Stdout, workload.ToSpec(sc)); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	opts := exp.Options{
+		Seeds:          *seeds,
+		Requests:       *requests,
+		ProfileSamples: *profileN,
+		EvalSamples:    *evalN,
+	}
+	p, err := exp.NewPipeline(sc, opts, 7)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.Eta = *eta
+	cfg.Beta = *beta
+	specs := exp.WithOracle(exp.StandardScheds())
+	specs = append(specs, exp.SchedSpec{Name: "Dysta-w/o-sparse",
+		New: func(p *exp.Pipeline) sched.Scheduler { return core.NewWithoutSparse(p.LUT) }})
+	if *schedArg != "all" {
+		var filtered []exp.SchedSpec
+		for _, s := range specs {
+			if s.Name == *schedArg {
+				filtered = append(filtered, s)
+			}
+		}
+		if len(filtered) == 0 {
+			fmt.Fprintf(os.Stderr, "unknown scheduler %q\n", *schedArg)
+			os.Exit(2)
+		}
+		specs = filtered
+	}
+	// Replace the default Dysta spec with the flag-configured one.
+	for i := range specs {
+		if specs[i].Name == "Dysta" {
+			specs[i].New = func(p *exp.Pipeline) sched.Scheduler { return core.New(cfg, p.LUT) }
+		}
+	}
+
+	results, err := p.RunPoint(specs, *rate, *mslo, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("workload %s  rate %.1f req/s  M_slo %.0fx  %d requests x %d seeds\n\n",
+		sc.Name, *rate, *mslo, *requests, *seeds)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "scheduler\tANTT\tviol%\tthroughput\tmean lat\tp99 lat\tpreemptions")
+	for _, s := range specs {
+		r := results[s.Name]
+		fmt.Fprintf(tw, "%s\t%.2f\t%.1f\t%.2f\t%v\t%v\t%d\n",
+			r.Scheduler, r.ANTT, 100*r.ViolationRate, r.Throughput,
+			r.MeanLatency.Round(time.Microsecond), r.P99Latency.Round(time.Microsecond),
+			r.Preemptions)
+	}
+	tw.Flush()
+
+	if *perModel {
+		fmt.Println()
+		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "scheduler\tmodel\trequests\tANTT\tviol%")
+		for _, s := range specs {
+			r := results[s.Name]
+			names := make([]string, 0, len(r.PerModel))
+			for name := range r.PerModel {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			for _, name := range names {
+				m := r.PerModel[name]
+				fmt.Fprintf(tw, "%s\t%s\t%d\t%.2f\t%.1f\n",
+					r.Scheduler, name, m.Requests, m.ANTT, 100*m.ViolationRate)
+			}
+		}
+		tw.Flush()
+	}
+}

@@ -1,0 +1,129 @@
+// Custom benchmark: the full public-benchmark workflow of the paper's
+// artifact (Appendix A), end to end through the library API:
+//
+//  1. define a scenario as a shareable JSON spec (here: a robotics stack
+//     with tight-SLO hand detection and best-effort classification);
+//
+//  2. run Phase 1 (hardware simulation) and persist the runtime
+//     information as CSV files, as the paper's hw_simulator does;
+//
+//  3. reload the CSVs, build the scheduler LUTs from them, and run
+//     Phase 2 under Dysta;
+//
+//  4. export per-request outcomes for external analysis and draw the
+//     schedule of the busiest second.
+//
+//     go run ./examples/custom_benchmark
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"time"
+
+	"sparsedysta/internal/core"
+	"sparsedysta/internal/sched"
+	"sparsedysta/internal/trace"
+	"sparsedysta/internal/workload"
+)
+
+func main() {
+	// 1. The scenario spec, as it would live in a versioned JSON file.
+	specJSON := `{
+	  "name": "robotics-perception",
+	  "accelerator": "eyeriss-v2",
+	  "entries": [
+	    {"model": "ssd", "pattern": "random", "weight_rate": 0.8, "weight": 2, "slo_factor": 0.5},
+	    {"model": "resnet50", "pattern": "nm", "weight_rate": 0.75, "weight": 1, "slo_factor": 2.0}
+	  ]
+	}`
+	scenario, err := workload.LoadSpec(bytes.NewReader([]byte(specJSON)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("scenario %q: %d entries on %s\n",
+		scenario.Name, len(scenario.Entries), scenario.Accel.Name())
+
+	// 2. Phase 1: simulate the dataset and persist runtime info per
+	//    model-pattern pair (in-memory buffers stand in for files here).
+	files := map[trace.Key]*bytes.Buffer{}
+	profiling := trace.NewStore()
+	for i, e := range scenario.Entries {
+		traces, err := trace.Build(scenario.Accel, trace.BuildConfig{
+			Model: e.Model, Pattern: e.Pattern, WeightRate: e.WeightRate,
+			Samples: 150, Seed: uint64(i) + 1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		profiling.Add(e.Key(), traces[:50]) // offline profiling split
+		buf := &bytes.Buffer{}
+		if err := trace.WriteCSV(buf, e.Key(), traces[50:]); err != nil {
+			log.Fatal(err)
+		}
+		files[e.Key()] = buf
+		fmt.Printf("  phase 1: %v -> %d samples (%d KB of runtime info)\n",
+			e.Key(), len(traces), buf.Len()/1024)
+	}
+
+	// 3. Phase 2: reload the saved runtime info and schedule against it.
+	evaluation := trace.NewStore()
+	for _, buf := range files {
+		key, traces, err := trace.ReadCSV(buf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		evaluation.Add(key, traces)
+	}
+	lut, err := trace.NewStatsSet(profiling)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mean, err := workload.MeanIsolated(scenario, evaluation)
+	if err != nil {
+		log.Fatal(err)
+	}
+	requests, err := workload.Generate(scenario, evaluation, workload.GenConfig{
+		Requests:      400,
+		RatePerSec:    0.85 / mean.Seconds(),
+		SLOMultiplier: 8,
+		Seed:          42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	result, err := sched.Run(core.NewDefault(lut), requests,
+		sched.Options{RecordTasks: true, RecordTimeline: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nphase 2 under %s: ANTT %.2f, violations %.1f%%, %d preemptions\n",
+		result.Scheduler, result.ANTT, 100*result.ViolationRate, result.Preemptions)
+	for name, m := range result.PerModel {
+		fmt.Printf("  %-9s %3d requests  ANTT %6.2f  violations %5.1f%%\n",
+			name, m.Requests, m.ANTT, 100*m.ViolationRate)
+	}
+
+	// 4. Outcome export + a schedule snapshot.
+	var outcomes bytes.Buffer
+	if err := sched.WriteOutcomesCSV(&outcomes, result.Tasks); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\noutcome CSV: %d bytes for %d requests (first line: %.60s...)\n",
+		outcomes.Len(), len(result.Tasks), outcomes.String())
+
+	fmt.Printf("\nschedule of the first %d spans:\n", min(12, len(result.Timeline.Spans)))
+	tl := &sched.Timeline{Spans: result.Timeline.Spans[:min(12, len(result.Timeline.Spans))]}
+	fmt.Print(tl.Gantt(60))
+	fmt.Printf("context switches across the run: %d over %v busy\n",
+		result.Timeline.Switches(), result.Timeline.Busy().Round(time.Millisecond))
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

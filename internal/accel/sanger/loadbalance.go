@@ -1,0 +1,102 @@
+package sanger
+
+import (
+	"sort"
+
+	"sparsedysta/internal/rng"
+)
+
+// This file implements Sanger's load-balancing scheme ("pack and split"):
+// after the lightweight predictor thresholds the attention matrix, rows
+// have widely varying non-zero counts. The reconfigurable systolic array
+// processes `lanes` elements per PE row per round; long rows are split
+// across rounds and short rows are packed together, so the achieved
+// occupancy — not the raw sparsity — determines the speedup. The
+// DefaultConfig's LoadBalanceEff constant is calibrated from this model at
+// the benchmark's operating sparsity (see TestDefaultLoadBalanceCalibrated).
+
+// PackStats summarizes one scheduling of a sparse matrix onto the array.
+type PackStats struct {
+	// Rounds is the number of array passes needed.
+	Rounds int
+	// Occupancy is the fraction of PE-lane slots doing useful work:
+	// totalNNZ / (Rounds * lanes).
+	Occupancy float64
+}
+
+// PackAndSplit schedules rows with the given non-zero counts onto an
+// array row of `lanes` element slots using split-then-first-fit-decreasing
+// packing, and returns the resulting stats. Zero rows are skipped.
+func PackAndSplit(rowNNZ []int, lanes int) PackStats {
+	if lanes <= 0 {
+		return PackStats{}
+	}
+	var total int
+	var chunks []int
+	for _, nnz := range rowNNZ {
+		if nnz <= 0 {
+			continue
+		}
+		total += nnz
+		// Split long rows into full-lane chunks plus a remainder.
+		for nnz > lanes {
+			chunks = append(chunks, lanes)
+			nnz -= lanes
+		}
+		chunks = append(chunks, nnz)
+	}
+	if total == 0 {
+		return PackStats{}
+	}
+	// First-fit decreasing over round capacities.
+	sort.Sort(sort.Reverse(sort.IntSlice(chunks)))
+	var free []int // remaining capacity per round
+	for _, c := range chunks {
+		placed := false
+		for i, f := range free {
+			if f >= c {
+				free[i] -= c
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			free = append(free, lanes-c)
+		}
+	}
+	rounds := len(free)
+	return PackStats{
+		Rounds:    rounds,
+		Occupancy: float64(total) / float64(rounds*lanes),
+	}
+}
+
+// MeasureLoadBalance draws synthetic thresholded attention masks at the
+// given sparsity (each of seqLen rows keeps Binomial(seqLen, 1-sparsity)
+// entries, with row-level correlation from a shared prompt factor) and
+// returns the mean occupancy achieved by pack-and-split over samples.
+func MeasureLoadBalance(r *rng.Source, seqLen, lanes, samples int, sparsity float64) float64 {
+	if samples <= 0 || seqLen <= 0 {
+		return 0
+	}
+	var sum float64
+	rows := make([]int, seqLen)
+	for s := 0; s < samples; s++ {
+		// Rows share a sample-level factor (some prompts prune harder)
+		// plus row-level variation — the imbalance the packer must absorb.
+		base := sparsity + 0.03*r.Norm()
+		for i := range rows {
+			keep := 1 - base + 0.05*r.Norm()
+			if keep < 0 {
+				keep = 0
+			}
+			if keep > 1 {
+				keep = 1
+			}
+			nnz := int(keep*float64(seqLen) + 0.5)
+			rows[i] = nnz
+		}
+		sum += PackAndSplit(rows, lanes).Occupancy
+	}
+	return sum / float64(samples)
+}

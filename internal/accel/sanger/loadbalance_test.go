@@ -1,0 +1,142 @@
+package sanger
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"sparsedysta/internal/rng"
+)
+
+func TestPackAndSplitExact(t *testing.T) {
+	cases := []struct {
+		rows      []int
+		lanes     int
+		rounds    int
+		occupancy float64
+	}{
+		// Two half-rows pack into one round.
+		{[]int{4, 4}, 8, 1, 1.0},
+		// One long row splits across two rounds.
+		{[]int{12}, 8, 2, 0.75},
+		// Perfectly balanced full rows.
+		{[]int{8, 8, 8}, 8, 3, 1.0},
+		// Zero rows are skipped entirely.
+		{[]int{0, 0, 8}, 8, 1, 1.0},
+		// Mixed 7+5+4 over lanes 8: sub-lane rows cannot be split, so
+		// first-fit-decreasing needs three rounds ([7],[5],[4]) despite
+		// the LP bound of two.
+		{[]int{7, 5, 4}, 8, 3, 16.0 / 24.0},
+	}
+	for _, c := range cases {
+		got := PackAndSplit(c.rows, c.lanes)
+		if got.Rounds != c.rounds {
+			t.Errorf("PackAndSplit(%v, %d).Rounds = %d, want %d",
+				c.rows, c.lanes, got.Rounds, c.rounds)
+		}
+		if math.Abs(got.Occupancy-c.occupancy) > 1e-9 {
+			t.Errorf("PackAndSplit(%v, %d).Occupancy = %.3f, want %.3f",
+				c.rows, c.lanes, got.Occupancy, c.occupancy)
+		}
+	}
+}
+
+func TestPackAndSplitDegenerate(t *testing.T) {
+	if got := PackAndSplit(nil, 8); got.Rounds != 0 || got.Occupancy != 0 {
+		t.Errorf("empty input: %+v", got)
+	}
+	if got := PackAndSplit([]int{5}, 0); got.Rounds != 0 {
+		t.Errorf("zero lanes: %+v", got)
+	}
+	if got := PackAndSplit([]int{0, 0}, 8); got.Rounds != 0 {
+		t.Errorf("all-zero rows: %+v", got)
+	}
+}
+
+// TestPackOccupancyBounds: occupancy is in (0, 1] and rounds are at least
+// the bin-packing lower bound ceil(total/lanes).
+func TestPackOccupancyBounds(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.Intn(100)
+		lanes := 1 + r.Intn(64)
+		rows := make([]int, n)
+		total := 0
+		for i := range rows {
+			rows[i] = r.Intn(3 * lanes)
+			total += rows[i]
+		}
+		got := PackAndSplit(rows, lanes)
+		if total == 0 {
+			return got.Rounds == 0
+		}
+		lower := (total + lanes - 1) / lanes
+		if got.Rounds < lower {
+			return false
+		}
+		return got.Occupancy > 0 && got.Occupancy <= 1+1e-9
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPackingBeatsNaive: first-fit-decreasing packing needs no more
+// rounds than the naive one-row-per-round schedule.
+func TestPackingBeatsNaive(t *testing.T) {
+	r := rng.New(3)
+	rows := make([]int, 64)
+	naive := 0
+	for i := range rows {
+		rows[i] = 1 + r.Intn(16)
+		naive++ // one round per non-empty row at lanes >= max nnz
+	}
+	got := PackAndSplit(rows, 16)
+	if got.Rounds > naive {
+		t.Errorf("packed rounds %d exceed naive %d", got.Rounds, naive)
+	}
+	if got.Occupancy < 0.5 {
+		t.Errorf("packing occupancy %.3f below 0.5 on short rows", got.Occupancy)
+	}
+}
+
+// TestMeasureLoadBalanceCurve: occupancy stays high (the point of
+// Sanger's design) and does not collapse at high sparsity.
+func TestMeasureLoadBalanceCurve(t *testing.T) {
+	r := rng.New(4)
+	for _, s := range []float64{0.7, 0.85, 0.95} {
+		eff := MeasureLoadBalance(r, 384, 64, 20, s)
+		if eff < 0.55 || eff > 1.0 {
+			t.Errorf("sparsity %.2f: occupancy %.3f outside [0.55, 1.0]", s, eff)
+		}
+	}
+}
+
+// TestDefaultLoadBalanceCalibrated ties the DefaultConfig constant to the
+// packing model: pure pack-and-split occupancy at the benchmark's
+// operating sparsity (~0.9 for BERT/GPT-2) is an upper bound on the
+// configured LoadBalanceEff, which additionally absorbs decode and skip
+// bubbles in the sparse datapath; the constant must sit within [60%,
+// 100%] of the measured occupancy.
+func TestDefaultLoadBalanceCalibrated(t *testing.T) {
+	r := rng.New(5)
+	measured := MeasureLoadBalance(r, 384, 64, 50, 0.9)
+	cfg := DefaultConfig()
+	if cfg.LoadBalanceEff > measured {
+		t.Errorf("configured LoadBalanceEff %.2f above packing occupancy %.2f",
+			cfg.LoadBalanceEff, measured)
+	}
+	if cfg.LoadBalanceEff < 0.6*measured {
+		t.Errorf("configured LoadBalanceEff %.2f implausibly far below occupancy %.2f",
+			cfg.LoadBalanceEff, measured)
+	}
+}
+
+func TestMeasureLoadBalanceDegenerate(t *testing.T) {
+	r := rng.New(6)
+	if got := MeasureLoadBalance(r, 0, 64, 10, 0.9); got != 0 {
+		t.Errorf("zero seqLen: %v", got)
+	}
+	if got := MeasureLoadBalance(r, 64, 64, 0, 0.9); got != 0 {
+		t.Errorf("zero samples: %v", got)
+	}
+}

@@ -1,0 +1,138 @@
+// Package sanger implements the analytical Sanger performance model used
+// as the sparse attention accelerator of the benchmark (paper §3.3.2).
+//
+// Sanger (Lu et al., MICRO 2021) accelerates dynamically pruned attention:
+// a lightweight predictor thresholds the attention matrix, and a
+// reconfigurable systolic array executes the surviving entries with
+// load-balanced pack-and-split scheduling. The benchmark drives it with
+// threshold-pruned BERT, GPT-2 and BART (paper §3.2), whose per-sample
+// attention sparsity is the dynamic signal Dysta monitors.
+//
+// The model splits one transformer block into:
+//
+//   - a dense part (QKV/output projections + FFN) on the dense systolic
+//     datapath, scaled by cascade token pruning — highly sparse samples
+//     drop uninformative tokens, shrinking the effective sequence length
+//     (SpAtten-style; this is what makes "simple prompts" fast in the
+//     paper's Fig. 1);
+//   - a sparse part (the score and context products) on the load-balanced
+//     sparse datapath, scaled by the surviving attention density.
+//
+// Latency is the roofline of compute and weight-streaming memory traffic
+// plus a per-block overhead.
+package sanger
+
+import (
+	"time"
+
+	"sparsedysta/internal/accel"
+	"sparsedysta/internal/models"
+)
+
+// Config holds the hardware parameters of the Sanger model. Start from
+// DefaultConfig.
+type Config struct {
+	// DensePEs is the MAC count of the dense systolic datapath.
+	DensePEs int
+	// SparsePEs is the MAC count of the sparse (attention) datapath.
+	SparsePEs int
+	// ClockHz is the accelerator clock.
+	ClockHz float64
+	// LoadBalanceEff is the fraction of sparse-datapath peak realized by
+	// Sanger's pack-and-split load balancing.
+	LoadBalanceEff float64
+	// TokenPruneSlope maps attention sparsity to the fraction of tokens
+	// cascade-pruned from the dense datapath: effSeq = S*(1 - slope*as).
+	TokenPruneSlope float64
+	// DRAMBytesPerCycle is the weight-streaming bandwidth in bytes/cycle.
+	DRAMBytesPerCycle float64
+	// BytesPerElement is the datatype width (8-bit quantized).
+	BytesPerElement float64
+	// BlockOverheadCycles is the fixed cost per transformer block.
+	BlockOverheadCycles float64
+}
+
+// DefaultConfig returns the Sanger configuration used by the reproduction:
+// a 32x32 dense array at 250 MHz with a 64-lane sparse datapath. The clock
+// and token-prune slope are calibrated (DESIGN.md §2) so that (i) per-block
+// latency varies ~2.5x across the benchmark's attention-sparsity range,
+// normalizing to the 0.6-1.8 spread of paper Fig. 2, and (ii) the
+// three-model benchmark mix averages ~25 ms, making the paper's 30 req/s
+// arrival rate a ~0.75-utilization operating point as in its evaluation.
+func DefaultConfig() Config {
+	return Config{
+		DensePEs:            1024,
+		SparsePEs:           64,
+		ClockHz:             210e6,
+		LoadBalanceEff:      0.70,
+		TokenPruneSlope:     0.8,
+		DRAMBytesPerCycle:   32,
+		BytesPerElement:     1,
+		BlockOverheadCycles: 5000,
+	}
+}
+
+// Simulator is the Sanger analytical latency model. It is safe for
+// concurrent use.
+type Simulator struct {
+	cfg Config
+}
+
+// New returns a Simulator with the given configuration.
+func New(cfg Config) *Simulator { return &Simulator{cfg: cfg} }
+
+// NewDefault returns a Simulator with DefaultConfig.
+func NewDefault() *Simulator { return New(DefaultConfig()) }
+
+// Name implements accel.Accelerator.
+func (s *Simulator) Name() string { return "sanger" }
+
+// Family implements accel.Accelerator.
+func (s *Simulator) Family() models.Family { return models.AttNN }
+
+// Config returns the simulator's configuration.
+func (s *Simulator) Config() Config { return s.cfg }
+
+// LayerLatency implements accel.Accelerator. For Attention layers the
+// ActivationSparsity field is the pruned fraction of the attention matrix;
+// WeightRate is ignored (the benchmark's AttNN sparsification is dynamic
+// only, paper §3.2). Non-attention layers fall back to the dense datapath.
+func (s *Simulator) LayerLatency(l models.Layer, sp accel.LayerSparsity) time.Duration {
+	as := sp.ActivationSparsity
+	if as < 0 {
+		as = 0
+	}
+	if as > 1 {
+		as = 1
+	}
+
+	var computeCycles float64
+	var weightBytes float64
+	switch l.Kind {
+	case models.Attention:
+		// Cascade token pruning shortens the sequence seen by the dense
+		// datapath; the attention product additionally keeps only the
+		// surviving density of entries.
+		seqKeep := 1 - s.cfg.TokenPruneSlope*as
+		denseMACs := float64(l.MACs()-l.AttnMatrixMACs()) * seqKeep
+		attnMACs := float64(l.AttnMatrixMACs()) * seqKeep * seqKeep * (1 - as)
+
+		denseCycles := denseMACs / float64(s.cfg.DensePEs)
+		sparseCycles := attnMACs / (float64(s.cfg.SparsePEs) * s.cfg.LoadBalanceEff)
+		computeCycles = denseCycles + sparseCycles
+		weightBytes = float64(l.Params()) * s.cfg.BytesPerElement
+	default:
+		computeCycles = float64(l.MACs()) / float64(s.cfg.DensePEs)
+		weightBytes = float64(l.Params()) * s.cfg.BytesPerElement
+	}
+
+	memCycles := weightBytes / s.cfg.DRAMBytesPerCycle
+	cycles := computeCycles
+	if memCycles > cycles {
+		cycles = memCycles
+	}
+	cycles += s.cfg.BlockOverheadCycles
+	return time.Duration(cycles / s.cfg.ClockHz * float64(time.Second))
+}
+
+var _ accel.Accelerator = (*Simulator)(nil)

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"time"
+
+	"sparsedysta/internal/sched"
+	"sparsedysta/internal/trace"
+)
+
+// Dysta is the bi-level scheduler (paper §4.2). It implements
+// sched.Scheduler; construct it with New and run it under sched.Run.
+type Dysta struct {
+	cfg Config
+	lut *trace.StatsSet
+	// state tracks per-request runtime information keyed by task ID.
+	state map[int]*requestState
+}
+
+// requestState is the per-request bookkeeping of the dynamic level.
+type requestState struct {
+	// staticScore is the arrival-time score of the static level (Alg. 1),
+	// in milliseconds. It fully determines ordering when the dynamic
+	// level is disabled (Dysta-w/o-sparse).
+	staticScore float64
+	// pred refines remaining-latency estimates from monitored sparsity.
+	pred *Predictor
+}
+
+// New returns a Dysta scheduler over the profiling LUT. It panics on an
+// invalid configuration (construction-time programming error).
+func New(cfg Config, lut *trace.StatsSet) *Dysta {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Dysta{cfg: cfg, lut: lut, state: map[int]*requestState{}}
+}
+
+// NewDefault returns Dysta with DefaultConfig.
+func NewDefault(lut *trace.StatsSet) *Dysta { return New(DefaultConfig(), lut) }
+
+// NewWithoutSparse returns the Dysta-w/o-sparse ablation (Fig. 13).
+func NewWithoutSparse(lut *trace.StatsSet) *Dysta {
+	return New(DefaultConfig().WithoutSparse(), lut)
+}
+
+// Name implements sched.Scheduler.
+func (d *Dysta) Name() string {
+	if !d.cfg.DynamicEnabled {
+		return "Dysta-w/o-sparse"
+	}
+	return "Dysta"
+}
+
+// Config returns the scheduler's configuration.
+func (d *Dysta) Config() Config { return d.cfg }
+
+// OnArrival implements sched.Scheduler: the static level (Alg. 1).
+// Lat_n is the LUT's average latency for the model-pattern pair — the
+// pattern-aware estimate of line 5 — and the score is
+// Lat_n + Beta * (SLO_n - Lat_n).
+func (d *Dysta) OnArrival(t *sched.Task, _ time.Duration) {
+	st := d.lut.MustLookup(t.Key)
+	lat := ms(st.AvgTotal)
+	slack := ms(t.SLO) - lat
+	d.state[t.ID] = &requestState{
+		staticScore: lat + d.cfg.Beta*slack,
+		pred:        NewPredictor(d.cfg, st),
+	}
+}
+
+// OnLayerComplete implements sched.Scheduler: the hardware monitor's
+// sparsity reading feeds the request's sparse latency predictor (Alg. 2
+// line 7, Alg. 3).
+func (d *Dysta) OnLayerComplete(t *sched.Task, layer int, monitored float64, _ time.Duration) {
+	if t.Done {
+		delete(d.state, t.ID)
+		return
+	}
+	if s := d.state[t.ID]; s != nil && d.cfg.DynamicEnabled {
+		s.pred.Observe(layer, monitored)
+	}
+}
+
+// PickNext implements sched.Scheduler: the dynamic level (Alg. 2). Every
+// queued request is re-scored with its refined remaining time, slack and
+// preemption penalty; the minimum score runs next. With the dynamic level
+// disabled, arrival-time static scores order the queue instead.
+func (d *Dysta) PickNext(ready []*sched.Task, now time.Duration) *sched.Task {
+	best := ready[0]
+	bestScore := d.score(best, now, len(ready))
+	for _, t := range ready[1:] {
+		if sc := d.score(t, now, len(ready)); sc < bestScore || (sc == bestScore && t.ID < best.ID) {
+			best, bestScore = t, sc
+		}
+	}
+	return best
+}
+
+// score computes the request's current score in milliseconds.
+func (d *Dysta) score(t *sched.Task, now time.Duration, queueLen int) float64 {
+	s := d.state[t.ID]
+	if s == nil {
+		// Defensive: a task the scheduler never saw arrive sorts last.
+		return 1e18
+	}
+	if !d.cfg.DynamicEnabled {
+		return s.staticScore
+	}
+	// Alg. 2 lines 7-11. Negative slack is clamped to zero so a task that
+	// can no longer meet its deadline competes on remaining time instead
+	// of hijacking the queue (the EDF overload pathology); the clamp is a
+	// documented refinement of the literal Alg. 2 (see DESIGN.md §6).
+	remain := ms(s.pred.Remaining(t.NextLayer))
+	slack := ms(t.Deadline()-now) - remain
+	demotion := 0.0
+	if slack < 0 {
+		slack = 0
+		demotion = d.cfg.DemotionMS
+	}
+	isol := ms(s.pred.Isolated())
+	penalty := 0.0
+	if isol > 0 && queueLen > 0 {
+		penalty = (ms(t.SinceLastRun(now)) / isol) / float64(queueLen) * d.cfg.PenaltyWeight
+	}
+	return remain + d.cfg.Eta*(slack+penalty) + demotion
+}
+
+// ms converts a duration to float64 milliseconds, the score unit (matching
+// the FP16 operand scale of the hardware implementation).
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+var _ sched.Scheduler = (*Dysta)(nil)

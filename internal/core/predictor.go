@@ -1,0 +1,177 @@
+package core
+
+import (
+	"time"
+
+	"sparsedysta/internal/stats"
+	"sparsedysta/internal/trace"
+)
+
+// Predictor is the sparse latency predictor of paper §5.1 (Alg. 3) for one
+// in-flight request.
+//
+// The hardware monitor reports each completed layer's observed sparsity.
+// The predictor maintains the sparsity coefficient gamma — the ratio of
+// monitored to average layer sparsity, aggregated by the configured
+// strategy (Alg. 3 line 6, Table 4) — and maps it to latency through the
+// linear model the paper motivates from the inter-layer correlation of
+// Fig. 9 ("monitor the layer sparsity at runtime and adopt a linear model
+// for sparse latency prediction"):
+//
+//	s_hat[l]  = gamma * AvgSparsity[l]                  (future layers)
+//	T_remain  = Alpha * ( AvgRemaining(next)
+//	                    + (gamma-1) * SensitivityRemaining(next) )
+//
+// where the per-layer latency-vs-sparsity slopes inside
+// SensitivityRemaining come from the offline profiling LUTs (the "shape"
+// LUT of the hardware design, §5.2.1). With CoeffMode DensityRatio the
+// same construction is applied in density space.
+type Predictor struct {
+	cfg   Config
+	stats *trace.Stats
+	// ratios holds the per-layer monitored/average ratios of executed
+	// layers, in execution order.
+	ratios []float64
+}
+
+// NewPredictor returns a Predictor over the LUT entry for the request's
+// model-pattern pair.
+func NewPredictor(cfg Config, st *trace.Stats) *Predictor {
+	return &Predictor{cfg: cfg, stats: st}
+}
+
+// Observe records the hardware monitor's sparsity reading for a completed
+// layer.
+func (p *Predictor) Observe(layer int, monitored float64) {
+	avg := p.stats.AvgLayerSparsity[layer]
+	var ratio float64
+	switch p.cfg.Mode {
+	case DensityRatio:
+		ratio = safeRatio(1-monitored, 1-avg, p.cfg.GammaClamp)
+	default: // SparsityRatio, the paper's Alg. 3 line 6
+		ratio = safeRatio(monitored, avg, p.cfg.GammaClamp)
+	}
+	p.ratios = append(p.ratios, ratio)
+}
+
+// safeRatio returns num/den clamped to [1/clamp, clamp], treating a
+// degenerate denominator as ratio 1.
+func safeRatio(num, den, clamp float64) float64 {
+	if den <= 1e-9 {
+		return 1
+	}
+	return stats.Clamp(num/den, 1/clamp, clamp)
+}
+
+// Gamma returns the current sparsity coefficient under the configured
+// strategy; 1 before any observation.
+func (p *Predictor) Gamma() float64 {
+	if len(p.ratios) == 0 {
+		return 1
+	}
+	switch p.cfg.Strategy {
+	case AverageAll:
+		return stats.Mean(p.ratios)
+	case LastN:
+		n := p.cfg.N
+		if n > len(p.ratios) {
+			n = len(p.ratios)
+		}
+		return stats.Mean(p.ratios[len(p.ratios)-n:])
+	default: // LastOne
+		return p.ratios[len(p.ratios)-1]
+	}
+}
+
+// predict maps the current gamma through the linear latency model for the
+// given base latency and sensitivity (or scales the base proportionally
+// under LiteralAlg3). Results are floored at a small fraction of the base
+// to stay physical under extreme coefficients.
+func (p *Predictor) predict(base time.Duration, sensitivity float64) time.Duration {
+	var est float64
+	if p.cfg.LiteralAlg3 {
+		est = p.cfg.Alpha * p.Gamma() * float64(base)
+	} else {
+		est = p.cfg.Alpha * (float64(base) + (p.Gamma()-1)*sensitivity)
+	}
+	if floor := 0.05 * float64(base); est < floor {
+		est = floor
+	}
+	return time.Duration(est)
+}
+
+// Remaining predicts the latency of layers nextLayer..end.
+func (p *Predictor) Remaining(nextLayer int) time.Duration {
+	base := p.stats.AvgRemaining(nextLayer)
+	if base == 0 {
+		return 0
+	}
+	return p.predict(base, p.sensitivity(nextLayer))
+}
+
+// Isolated predicts the request's end-to-end isolated latency with the
+// current coefficient.
+func (p *Predictor) Isolated() time.Duration {
+	return p.predict(p.stats.AvgTotal, p.sensitivity(0))
+}
+
+// sensitivity selects the suffix sensitivity for the configured
+// coefficient space.
+func (p *Predictor) sensitivity(from int) float64 {
+	if p.cfg.Mode == DensityRatio {
+		return p.stats.SensitivityRemainingDensity(from)
+	}
+	return p.stats.SensitivityRemaining(from)
+}
+
+// Observations returns how many layers have been observed.
+func (p *Predictor) Observations() int { return len(p.ratios) }
+
+// PredictorError quantifies one prediction-vs-truth comparison of the
+// Table 4 evaluation.
+type PredictorError struct {
+	// RMSE is the root-mean-square error of predicted remaining latency
+	// in seconds, over all (sample, layer-position) pairs.
+	RMSE float64
+	// NormalizedRMSE divides by the mean isolated latency, making values
+	// comparable across accelerators with different absolute scales.
+	NormalizedRMSE float64
+	// Samples and Points count the traces and prediction points used.
+	Samples, Points int
+}
+
+// EvaluatePredictor replays traces through the predictor, predicting the
+// remaining latency after each executed layer and comparing against ground
+// truth — the paper's Table 4 experiment. The stats must come from a
+// profiling set disjoint from the evaluated traces.
+func EvaluatePredictor(cfg Config, st *trace.Stats, traces []trace.SampleTrace) PredictorError {
+	var preds, truths []float64
+	var meanIso float64
+	for i := range traces {
+		tr := &traces[i]
+		p := NewPredictor(cfg, st)
+		meanIso += tr.Total().Seconds()
+		// After executing layer l (observing its sparsity), predict the
+		// latency of layers l+1..end.
+		for l := 0; l+1 < tr.NumLayers(); l++ {
+			p.Observe(l, tr.LayerSparsity[l])
+			preds = append(preds, p.Remaining(l+1).Seconds())
+			truths = append(truths, tr.Remaining(l+1).Seconds())
+		}
+	}
+	if len(preds) == 0 {
+		return PredictorError{Samples: len(traces)}
+	}
+	rmse := stats.RMSE(preds, truths)
+	meanIso /= float64(len(traces))
+	norm := 0.0
+	if meanIso > 0 {
+		norm = rmse / meanIso
+	}
+	return PredictorError{
+		RMSE:           rmse,
+		NormalizedRMSE: norm,
+		Samples:        len(traces),
+		Points:         len(preds),
+	}
+}

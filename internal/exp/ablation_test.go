@@ -1,0 +1,91 @@
+package exp
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestAblationRunners executes every registered ablation at tiny scale
+// and checks the artefacts are well-formed.
+func TestAblationRunners(t *testing.T) {
+	opts := tiny()
+	for _, id := range AblationIDs() {
+		r, err := Lookup(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		arts, err := r(opts)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(arts) == 0 {
+			t.Fatalf("%s: no artifacts", id)
+		}
+		for _, a := range arts {
+			if a.Render() == "" {
+				t.Errorf("%s: empty render", id)
+			}
+		}
+	}
+}
+
+func TestAblationIDsRegistered(t *testing.T) {
+	ids := AblationIDs()
+	if len(ids) != 8 {
+		t.Errorf("found %d ablations, want 8: %v", len(ids), ids)
+	}
+	for _, id := range ids {
+		if !strings.HasPrefix(id, "ablation-") {
+			t.Errorf("ablation id %q lacks prefix", id)
+		}
+	}
+	all := AllIDs()
+	if len(all) != len(IDs())+len(ids) {
+		t.Errorf("AllIDs has %d entries, want %d", len(all), len(IDs())+len(ids))
+	}
+}
+
+// TestAblationEtaTradeoff checks the knob's documented direction: larger
+// eta must not improve ANTT (it trades ANTT for deadline-awareness).
+func TestAblationEtaTradeoff(t *testing.T) {
+	opts := tiny()
+	opts.Requests = 300
+	arts, err := AblationEta(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := arts[0].(*Table) // multi-attnn table
+	first, err1 := strconv.ParseFloat(tbl.Rows[0][1], 64)
+	last, err2 := strconv.ParseFloat(tbl.Rows[len(tbl.Rows)-1][1], 64)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("unparseable ANTT cells: %v %v", err1, err2)
+	}
+	if last < first*0.95 {
+		t.Errorf("eta=0.3 ANTT %.2f materially below eta=0 %.2f", last, first)
+	}
+}
+
+// TestAblationGLBStory checks the GLB table: dense-activation VGG slows
+// down on the original banks; sparse runs are unaffected.
+func TestAblationGLBStory(t *testing.T) {
+	arts, err := AblationGLB(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := arts[0].(*Table)
+	for _, row := range tbl.Rows {
+		if row[0] != "vgg16" {
+			continue
+		}
+		slow, err := strconv.ParseFloat(strings.TrimSuffix(row[3], "x"), 64)
+		if err != nil {
+			t.Fatalf("bad slowdown cell %q", row[3])
+		}
+		if slow < 1.2 {
+			t.Errorf("dense VGG GLB slowdown %.2fx below 1.2x", slow)
+		}
+		return
+	}
+	t.Fatal("vgg16 row missing")
+}

@@ -1,0 +1,148 @@
+package exp
+
+import (
+	"fmt"
+
+	"sparsedysta/internal/core"
+	"sparsedysta/internal/sched"
+	"sparsedysta/internal/trace"
+	"sparsedysta/internal/workload"
+)
+
+// Options sizes an experiment run. DefaultOptions reproduces the paper's
+// protocol; QuickOptions shrinks everything for benchmarks and CI.
+type Options struct {
+	// Seeds is the number of random seeds averaged per data point (the
+	// paper uses 5, §6.1).
+	Seeds int
+	// Requests is the stream length per run (the paper uses 1000).
+	Requests int
+	// ProfileSamples sizes the offline profiling set per model-pattern
+	// pair; EvalSamples sizes the evaluation trace pool.
+	ProfileSamples, EvalSamples int
+	// DatasetSamples sizes the profiling experiments (Figs. 2-4, 9,
+	// Tables 2 and 4).
+	DatasetSamples int
+}
+
+// DefaultOptions returns the paper-scale protocol.
+func DefaultOptions() Options {
+	return Options{
+		Seeds:          5,
+		Requests:       1000,
+		ProfileSamples: 100,
+		EvalSamples:    400,
+		DatasetSamples: 2000,
+	}
+}
+
+// QuickOptions returns a reduced protocol for fast regeneration.
+func QuickOptions() Options {
+	return Options{
+		Seeds:          2,
+		Requests:       300,
+		ProfileSamples: 40,
+		EvalSamples:    150,
+		DatasetSamples: 500,
+	}
+}
+
+// Pipeline bundles the Phase 1 outputs for one scenario: trace stores, the
+// profiling LUT and the baseline estimator.
+type Pipeline struct {
+	Scenario workload.Scenario
+	Prof     *trace.Store
+	Eval     *trace.Store
+	LUT      *trace.StatsSet
+	Est      *sched.Estimator
+}
+
+// NewPipeline runs Phase 1 for the scenario.
+func NewPipeline(sc workload.Scenario, opts Options, seed uint64) (*Pipeline, error) {
+	prof, eval, err := workload.BuildStores(sc, opts.ProfileSamples, opts.EvalSamples, seed)
+	if err != nil {
+		return nil, err
+	}
+	lut, err := trace.NewStatsSet(prof)
+	if err != nil {
+		return nil, err
+	}
+	return &Pipeline{
+		Scenario: sc,
+		Prof:     prof,
+		Eval:     eval,
+		LUT:      lut,
+		Est:      sched.NewEstimator(lut),
+	}, nil
+}
+
+// SchedSpec names a scheduler and constructs a fresh instance per run.
+type SchedSpec struct {
+	Name string
+	New  func(p *Pipeline) sched.Scheduler
+}
+
+// StandardScheds returns the paper's Table 5 scheduler lineup.
+func StandardScheds() []SchedSpec {
+	return []SchedSpec{
+		{"FCFS", func(p *Pipeline) sched.Scheduler { return sched.NewFCFS() }},
+		{"SJF", func(p *Pipeline) sched.Scheduler { return sched.NewSJF(p.Est) }},
+		{"SDRM3", func(p *Pipeline) sched.Scheduler { return sched.NewSDRM3(p.Est) }},
+		{"PREMA", func(p *Pipeline) sched.Scheduler { return sched.NewPREMA(p.Est) }},
+		{"Planaria", func(p *Pipeline) sched.Scheduler { return sched.NewPlanaria(p.Est) }},
+		{"Dysta", func(p *Pipeline) sched.Scheduler { return core.NewDefault(p.LUT) }},
+	}
+}
+
+// WithOracle appends the Oracle upper bound (used by the sweep figures).
+func WithOracle(specs []SchedSpec) []SchedSpec {
+	return append(specs, SchedSpec{"Oracle", func(p *Pipeline) sched.Scheduler {
+		return sched.NewOracle(core.DefaultConfig().Eta)
+	}})
+}
+
+// RunSeeds evaluates one scheduler at one (rate, SLO-multiplier)
+// operating point, returning the per-seed results.
+func (p *Pipeline) RunSeeds(spec SchedSpec, rate, mslo float64, opts Options) ([]sched.Result, error) {
+	var rs []sched.Result
+	for s := 0; s < opts.Seeds; s++ {
+		reqs, err := workload.Generate(p.Scenario, p.Eval, workload.GenConfig{
+			Requests:      opts.Requests,
+			RatePerSec:    rate,
+			SLOMultiplier: mslo,
+			Seed:          uint64(1000*s) + 17,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("exp: generating %s workload: %w", p.Scenario.Name, err)
+		}
+		res, err := sched.Run(spec.New(p), reqs, sched.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("exp: running %s: %w", spec.Name, err)
+		}
+		rs = append(rs, res)
+	}
+	return rs, nil
+}
+
+// RunPoint evaluates every scheduler at one (rate, SLO-multiplier)
+// operating point, averaging over opts.Seeds seeds, and returns results
+// keyed by scheduler name.
+func (p *Pipeline) RunPoint(specs []SchedSpec, rate, mslo float64, opts Options) (map[string]sched.Result, error) {
+	out := map[string]sched.Result{}
+	for _, spec := range specs {
+		rs, err := p.RunSeeds(spec, rate, mslo, opts)
+		if err != nil {
+			return nil, err
+		}
+		avg := sched.AverageResults(rs)
+		avg.Scheduler = spec.Name
+		out[spec.Name] = avg
+	}
+	return out, nil
+}
+
+// AttNNRates and CNNRates are the paper's operating points (§6.2, §6.4).
+var (
+	AttNNRates = []float64{30, 40}
+	CNNRates   = []float64{3, 4}
+)

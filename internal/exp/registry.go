@@ -1,0 +1,71 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Runner regenerates one paper artefact.
+type Runner func(Options) ([]Artifact, error)
+
+// registry maps experiment ids (DESIGN.md §4) to runners.
+var registry = map[string]Runner{
+	"fig2":   Fig2,
+	"fig3":   Fig3,
+	"table2": Table2,
+	"fig4":   Fig4,
+	"fig5":   Fig5,
+	"fig9":   Fig9,
+	"table4": Table4,
+	"table5": Table5,
+	"fig12":  Fig12,
+	"fig13":  Fig13,
+	"fig14":  Fig14,
+	"fig15":  Fig15,
+	"fig16":  Fig16,
+	"table6": Table6,
+
+	"ablation-beta":     AblationBeta,
+	"ablation-eta":      AblationEta,
+	"ablation-strategy": AblationStrategy,
+	"ablation-penalty":  AblationPenalty,
+	"ablation-demotion": AblationDemotion,
+	"ablation-overhead": AblationOverhead,
+	"ablation-fifo":     AblationFIFO,
+	"ablation-glb":      AblationGLB,
+}
+
+// order is the presentation order of the paper artefacts.
+var order = []string{
+	"fig2", "fig3", "table2", "fig4", "fig5", "fig9",
+	"table4", "table5", "fig12", "fig13", "fig14", "fig15",
+	"fig16", "table6",
+}
+
+// IDs returns the paper-artefact experiment ids in paper order.
+func IDs() []string { return append([]string(nil), order...) }
+
+// AblationIDs returns the ablation experiment ids.
+func AblationIDs() []string {
+	var out []string
+	for id := range registry {
+		if strings.HasPrefix(id, "ablation-") {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AllIDs returns every registered id: paper artefacts then ablations.
+func AllIDs() []string { return append(IDs(), AblationIDs()...) }
+
+// Lookup returns the runner for an experiment id.
+func Lookup(id string) (Runner, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("exp: unknown experiment %q (valid: %v)", id, AllIDs())
+	}
+	return r, nil
+}

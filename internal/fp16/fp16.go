@@ -1,0 +1,161 @@
+// Package fp16 implements IEEE-754 binary16 (half-precision) floating point
+// in software.
+//
+// The Dysta hardware scheduler (paper §5.2.2) performs all score and
+// sparsity-coefficient arithmetic in FP16 to cut FPGA resource usage
+// (Fig. 16). This package provides the exact datatype so that the
+// behavioural hardware model in internal/hwsched computes bit-accurate FP16
+// results, and so the reproduction can quantify the scheduling impact of the
+// reduced precision against the float64 reference in internal/core.
+//
+// Arithmetic is performed by converting to float32, operating, and rounding
+// back to binary16 with round-to-nearest-even — the standard behaviour of
+// FPGA half-precision operator IP.
+package fp16
+
+import "math"
+
+// Num is an IEEE-754 binary16 value in its raw 16-bit encoding:
+// 1 sign bit, 5 exponent bits, 10 mantissa bits.
+type Num uint16
+
+// Useful constants in binary16 encoding.
+const (
+	PositiveZero Num = 0x0000
+	NegativeZero Num = 0x8000
+	PositiveInf  Num = 0x7c00
+	NegativeInf  Num = 0xfc00
+	// NaN is the canonical quiet NaN.
+	NaN Num = 0x7e00
+	// MaxValue is the largest finite binary16 value, 65504.
+	MaxValue Num = 0x7bff
+	// SmallestNormal is the smallest positive normal value, 2^-14.
+	SmallestNormal Num = 0x0400
+	// One is the value 1.0.
+	One Num = 0x3c00
+)
+
+// FromFloat32 converts a float32 to binary16 with round-to-nearest-even.
+// Values too large for binary16 become infinities; NaN payloads collapse to
+// the canonical NaN.
+func FromFloat32(f float32) Num {
+	bits := math.Float32bits(f)
+	sign := uint16(bits>>16) & 0x8000
+	exp := int32(bits>>23) & 0xff
+	mant := bits & 0x7fffff
+
+	switch {
+	case exp == 0xff: // Inf or NaN
+		if mant != 0 {
+			return NaN
+		}
+		return Num(sign | 0x7c00)
+	case exp == 0 && mant == 0: // signed zero
+		return Num(sign)
+	}
+
+	// Unbiased exponent in binary32, re-biased for binary16 (bias 15).
+	e := exp - 127 + 15
+	switch {
+	case e >= 0x1f: // overflow -> infinity
+		return Num(sign | 0x7c00)
+	case e <= 0: // subnormal in binary16 (or underflow to zero)
+		if e < -10 {
+			return Num(sign) // underflows to zero even after rounding
+		}
+		// Add the implicit leading 1, then shift right into the subnormal
+		// position, rounding to nearest even.
+		m := mant | 0x800000
+		shift := uint32(14 - e) // between 14 and 24
+		half := uint32(1) << (shift - 1)
+		rounded := m + half
+		// Round-to-even: if exactly halfway, clear the LSB after shifting.
+		if m&(half<<1|(half-1)) == half {
+			rounded = m + half - 1 + (m>>shift)&1
+		}
+		return Num(sign | uint16(rounded>>shift))
+	default: // normal
+		half := uint32(0x1000) // round bit for a 13-bit shift
+		rounded := mant + half
+		if mant&0x1fff == half { // exactly halfway: round to even
+			rounded = mant + half - 1 + (mant>>13)&1
+		}
+		if rounded&0x800000 != 0 { // mantissa overflowed into exponent
+			rounded = 0
+			e++
+			if e >= 0x1f {
+				return Num(sign | 0x7c00)
+			}
+		}
+		return Num(sign | uint16(e)<<10 | uint16(rounded>>13))
+	}
+}
+
+// FromFloat64 converts a float64 to binary16 via float32. Double rounding
+// through float32 cannot change the binary16 result for the magnitudes used
+// by the scheduler (all well inside float32's exact range).
+func FromFloat64(f float64) Num { return FromFloat32(float32(f)) }
+
+// Float32 converts a binary16 value to float32 exactly (every binary16
+// value is representable in binary32).
+func (n Num) Float32() float32 {
+	sign := uint32(n&0x8000) << 16
+	exp := uint32(n>>10) & 0x1f
+	mant := uint32(n) & 0x3ff
+
+	switch {
+	case exp == 0x1f: // Inf or NaN
+		if mant != 0 {
+			return math.Float32frombits(sign | 0x7fc00000)
+		}
+		return math.Float32frombits(sign | 0x7f800000)
+	case exp == 0:
+		if mant == 0 {
+			return math.Float32frombits(sign)
+		}
+		// Subnormal: normalize.
+		e := uint32(127 - 15 + 1)
+		for mant&0x400 == 0 {
+			mant <<= 1
+			e--
+		}
+		mant &= 0x3ff
+		return math.Float32frombits(sign | e<<23 | mant<<13)
+	default:
+		return math.Float32frombits(sign | (exp-15+127)<<23 | mant<<13)
+	}
+}
+
+// Float64 converts a binary16 value to float64 exactly.
+func (n Num) Float64() float64 { return float64(n.Float32()) }
+
+// IsNaN reports whether n encodes a NaN.
+func (n Num) IsNaN() bool { return n&0x7c00 == 0x7c00 && n&0x3ff != 0 }
+
+// IsInf reports whether n encodes an infinity.
+func (n Num) IsInf() bool { return n&0x7fff == 0x7c00 }
+
+// Neg returns n with its sign flipped.
+func (n Num) Neg() Num { return n ^ 0x8000 }
+
+// Add returns the binary16 sum a+b with round-to-nearest-even.
+func Add(a, b Num) Num { return FromFloat32(a.Float32() + b.Float32()) }
+
+// Sub returns the binary16 difference a-b with round-to-nearest-even.
+func Sub(a, b Num) Num { return FromFloat32(a.Float32() - b.Float32()) }
+
+// Mul returns the binary16 product a*b with round-to-nearest-even.
+func Mul(a, b Num) Num { return FromFloat32(a.Float32() * b.Float32()) }
+
+// Div returns the binary16 quotient a/b with round-to-nearest-even. The
+// hardware scheduler avoids divider IP by multiplying with precomputed
+// reciprocals (paper §5.2.2); Div exists for reference and testing.
+func Div(a, b Num) Num { return FromFloat32(a.Float32() / b.Float32()) }
+
+// Recip returns the binary16 reciprocal 1/n, used to model the offline
+// reciprocal precomputation of the paper's reconfigurable compute unit.
+func Recip(n Num) Num { return FromFloat32(1 / n.Float32()) }
+
+// Less reports whether a < b in the usual IEEE ordering (NaN compares
+// false with everything).
+func Less(a, b Num) bool { return a.Float32() < b.Float32() }

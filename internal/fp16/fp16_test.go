@@ -1,0 +1,255 @@
+package fp16
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKnownEncodings(t *testing.T) {
+	cases := []struct {
+		f    float32
+		want Num
+	}{
+		{0, PositiveZero},
+		{float32(math.Copysign(0, -1)), NegativeZero},
+		{1, One},
+		{-1, 0xbc00},
+		{2, 0x4000},
+		{0.5, 0x3800},
+		{65504, MaxValue},
+		{float32(math.Inf(1)), PositiveInf},
+		{float32(math.Inf(-1)), NegativeInf},
+		{0.099976, 0x2e66}, // ~0.1 in binary16
+		{6.1035156e-05, SmallestNormal},
+		{5.9604645e-08, 0x0001}, // smallest positive subnormal
+	}
+	for _, c := range cases {
+		if got := FromFloat32(c.f); got != c.want {
+			t.Errorf("FromFloat32(%g) = %#04x, want %#04x", c.f, got, c.want)
+		}
+	}
+}
+
+func TestKnownDecodings(t *testing.T) {
+	cases := []struct {
+		n    Num
+		want float32
+	}{
+		{PositiveZero, 0},
+		{One, 1},
+		{0x4000, 2},
+		{0x3800, 0.5},
+		{MaxValue, 65504},
+		{SmallestNormal, 6.103515625e-05},
+		{0x0001, 5.960464477539063e-08},
+		{0x3555, 0.333251953125}, // ~1/3
+	}
+	for _, c := range cases {
+		if got := c.n.Float32(); got != c.want {
+			t.Errorf("%#04x.Float32() = %g, want %g", c.n, got, c.want)
+		}
+	}
+}
+
+func TestInfAndNaN(t *testing.T) {
+	if !PositiveInf.IsInf() || !NegativeInf.IsInf() {
+		t.Error("IsInf false for infinities")
+	}
+	if PositiveInf.IsNaN() || One.IsNaN() {
+		t.Error("IsNaN true for non-NaN")
+	}
+	if !NaN.IsNaN() {
+		t.Error("IsNaN false for canonical NaN")
+	}
+	if !math.IsNaN(float64(NaN.Float32())) {
+		t.Error("NaN decodes to non-NaN float32")
+	}
+	if got := FromFloat32(float32(math.NaN())); !got.IsNaN() {
+		t.Errorf("FromFloat32(NaN) = %#04x", got)
+	}
+	if got := FromFloat32(1e10); got != PositiveInf {
+		t.Errorf("overflow should produce +Inf, got %#04x", got)
+	}
+	if got := FromFloat32(-1e10); got != NegativeInf {
+		t.Errorf("overflow should produce -Inf, got %#04x", got)
+	}
+	if got := FromFloat32(1e-10); got != PositiveZero {
+		t.Errorf("underflow should produce +0, got %#04x", got)
+	}
+}
+
+// TestRoundTripAllValues decodes every one of the 65536 possible binary16
+// values and re-encodes it; all non-NaN values must round-trip exactly.
+func TestRoundTripAllValues(t *testing.T) {
+	for i := 0; i <= 0xffff; i++ {
+		n := Num(i)
+		if n.IsNaN() {
+			continue
+		}
+		if got := FromFloat32(n.Float32()); got != n {
+			t.Fatalf("round trip %#04x -> %g -> %#04x", n, n.Float32(), got)
+		}
+	}
+}
+
+// TestRoundToNearestEven checks ties round to even mantissas.
+func TestRoundToNearestEven(t *testing.T) {
+	// 1 + 2^-11 is exactly halfway between 1.0 and the next binary16 value
+	// (1 + 2^-10); it must round down to the even mantissa (1.0).
+	halfwayLow := float32(1) + float32(math.Pow(2, -11))
+	if got := FromFloat32(halfwayLow); got != One {
+		t.Errorf("tie at 1+2^-11 rounded to %#04x, want 0x3c00", got)
+	}
+	// 1 + 3*2^-11 is halfway between 1+2^-10 and 1+2^-9; must round up to
+	// the even mantissa 1+2^-9.
+	halfwayHigh := float32(1) + 3*float32(math.Pow(2, -11))
+	if got := FromFloat32(halfwayHigh); got != 0x3c02 {
+		t.Errorf("tie at 1+3*2^-11 rounded to %#04x, want 0x3c02", got)
+	}
+}
+
+func TestRoundingIsNearest(t *testing.T) {
+	if err := quick.Check(func(seed uint32) bool {
+		// Uniform in [-70000, 70000] to cover normal, subnormal and
+		// overflow territory.
+		f := (float32(seed)/float32(math.MaxUint32) - 0.5) * 140000
+		n := FromFloat32(f)
+		if n.IsNaN() || n.IsInf() {
+			return float64(math.Abs(float64(f))) > 65504
+		}
+		back := n.Float32()
+		// The absolute error must not exceed half a ULP at this magnitude,
+		// which is bounded by |f| * 2^-10 for normals.
+		tol := math.Abs(float64(f))*math.Pow(2, -10) + math.Pow(2, -24)
+		return math.Abs(float64(back-f)) <= tol
+	}, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNeg(t *testing.T) {
+	if One.Neg() != 0xbc00 {
+		t.Errorf("Neg(1) = %#04x", One.Neg())
+	}
+	if One.Neg().Neg() != One {
+		t.Error("double negation is not identity")
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	two := FromFloat32(2)
+	three := FromFloat32(3)
+	if got := Add(two, three); got.Float32() != 5 {
+		t.Errorf("2+3 = %g", got.Float32())
+	}
+	if got := Sub(two, three); got.Float32() != -1 {
+		t.Errorf("2-3 = %g", got.Float32())
+	}
+	if got := Mul(two, three); got.Float32() != 6 {
+		t.Errorf("2*3 = %g", got.Float32())
+	}
+	if got := Div(three, two); got.Float32() != 1.5 {
+		t.Errorf("3/2 = %g", got.Float32())
+	}
+}
+
+func TestAddCommutative(t *testing.T) {
+	if err := quick.Check(func(a, b uint16) bool {
+		x, y := Num(a), Num(b)
+		if x.IsNaN() || y.IsNaN() {
+			return true
+		}
+		return Add(x, y) == Add(y, x)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulCommutative(t *testing.T) {
+	if err := quick.Check(func(a, b uint16) bool {
+		x, y := Num(a), Num(b)
+		if x.IsNaN() || y.IsNaN() {
+			return true
+		}
+		return Mul(x, y) == Mul(y, x)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulByOneIdentity(t *testing.T) {
+	if err := quick.Check(func(a uint16) bool {
+		x := Num(a)
+		if x.IsNaN() {
+			return true
+		}
+		got := Mul(x, One)
+		// -0 * 1 = -0, +0 * 1 = +0, etc: exact identity.
+		return got == x
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecipMatchesDiv(t *testing.T) {
+	for _, f := range []float32{1, 2, 3, 7, 100, 0.25, 1000} {
+		n := FromFloat32(f)
+		if got, want := Recip(n), Div(One, n); got != want {
+			t.Errorf("Recip(%g) = %#04x, Div(1,%g) = %#04x", f, got, f, want)
+		}
+	}
+}
+
+func TestLess(t *testing.T) {
+	if !Less(FromFloat32(1), FromFloat32(2)) {
+		t.Error("1 < 2 failed")
+	}
+	if Less(FromFloat32(2), FromFloat32(1)) {
+		t.Error("2 < 1 succeeded")
+	}
+	if Less(NaN, One) || Less(One, NaN) {
+		t.Error("NaN comparison returned true")
+	}
+	if !Less(NegativeInf, PositiveInf) {
+		t.Error("-Inf < +Inf failed")
+	}
+}
+
+// TestRelativeErrorBound verifies the documented precision property used by
+// the scheduler analysis: FP16 quantization error for scheduler scores
+// (magnitudes within [2^-14, 65504]) stays within 2^-10 relative error.
+func TestRelativeErrorBound(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		// Log-uniform magnitude across the normal range.
+		exp := float64(seed%28) - 14
+		mant := 1 + float64(seed%1000)/1000
+		f := mant * math.Pow(2, exp)
+		n := FromFloat64(f)
+		rel := math.Abs(n.Float64()-f) / f
+		return rel <= math.Pow(2, -10)
+	}, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromFloat64MatchesFloat32Path(t *testing.T) {
+	for _, f := range []float64{0, 1, -1, 0.1, 3.14159, 65504, 1e-5, 123.456} {
+		if got, want := FromFloat64(f), FromFloat32(float32(f)); got != want {
+			t.Errorf("FromFloat64(%g) = %#04x, want %#04x", f, got, want)
+		}
+	}
+}
+
+func BenchmarkFromFloat32(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = FromFloat32(float32(i) * 0.001)
+	}
+}
+
+func BenchmarkMul(b *testing.B) {
+	x, y := FromFloat32(1.5), FromFloat32(2.25)
+	for i := 0; i < b.N; i++ {
+		_ = Mul(x, y)
+	}
+}

@@ -1,0 +1,57 @@
+package fp16
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzFromFloat32 checks two universal properties over arbitrary float32
+// inputs: the conversion never produces a value closer to a *different*
+// representable binary16 neighbour (round-to-nearest), and converting the
+// decoded value again is idempotent.
+func FuzzFromFloat32(f *testing.F) {
+	f.Add(float32(0))
+	f.Add(float32(1))
+	f.Add(float32(-1))
+	f.Add(float32(65504))
+	f.Add(float32(65520)) // halfway to overflow
+	f.Add(float32(5.9e-8))
+	f.Add(float32(math.Pi))
+	f.Add(float32(math.Inf(1)))
+	f.Add(float32(math.NaN()))
+
+	f.Fuzz(func(t *testing.T, x float32) {
+		n := FromFloat32(x)
+		if math.IsNaN(float64(x)) {
+			if !n.IsNaN() {
+				t.Fatalf("NaN input produced %#04x", n)
+			}
+			return
+		}
+		back := n.Float32()
+		// Idempotence: re-encoding the decoded value is exact.
+		if again := FromFloat32(back); !again.IsNaN() && again != n {
+			t.Fatalf("re-encode changed %#04x -> %#04x (x=%g)", n, again, x)
+		}
+		if n.IsInf() {
+			// Overflow is only legal beyond the halfway point to the next
+			// representable value above MaxValue (2^16 = 65536... the
+			// rounding boundary is 65520).
+			if math.Abs(float64(x)) < 65520 {
+				t.Fatalf("|x|=%g overflowed to infinity prematurely", x)
+			}
+			return
+		}
+		// Round-to-nearest: error bounded by half a ULP at the result's
+		// magnitude (ULP = 2^(exp-10) for normals, 2^-24 for subnormals).
+		ulp := math.Pow(2, -24)
+		if abs := math.Abs(float64(back)); abs >= 6.103515625e-05 {
+			exp := math.Floor(math.Log2(abs))
+			ulp = math.Pow(2, exp-10)
+		}
+		if diff := math.Abs(float64(back) - float64(x)); diff > ulp/2+1e-12 {
+			t.Fatalf("x=%g rounded to %g: error %g exceeds half-ULP %g",
+				x, back, diff, ulp/2)
+		}
+	})
+}

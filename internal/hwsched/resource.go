@@ -1,0 +1,215 @@
+// Package hwsched models the hardware implementation of Dysta's dynamic
+// scheduler (paper §5.2): the microarchitecture of Fig. 10 — request FIFOs,
+// model-info LUTs, a zero-counting sparsity monitor and a reconfigurable
+// compute unit — together with its FPGA resource footprint (Fig. 16,
+// Table 6) and a bit-accurate FP16 behavioural model that plugs into the
+// scheduling engine.
+//
+// Two deliverables live here:
+//
+//   - Engine (fp16 behavioural model): a sched.Scheduler that computes the
+//     dynamic-level scores through the compute unit's FP16 dataflows and
+//     counts the cycles each scheduling invocation takes, demonstrating
+//     that the reduced precision does not change scheduling quality and
+//     that the scheduler's latency is negligible against layer execution.
+//   - Resource estimation: a component-level LUT/FF/DSP/BRAM cost model of
+//     the three design points the paper synthesizes (Non_Opt_FP32,
+//     Opt_FP32, Opt_FP16) at configurable FIFO depths, calibrated against
+//     the absolute numbers of Table 6.
+package hwsched
+
+import "fmt"
+
+// Precision selects the datapath width of the hardware scheduler.
+type Precision int
+
+const (
+	// FP32 is single-precision floating point.
+	FP32 Precision = iota
+	// FP16 is half-precision floating point, the paper's optimized
+	// datatype (§5.2.2).
+	FP16
+)
+
+// String returns the precision name.
+func (p Precision) String() string {
+	if p == FP16 {
+		return "fp16"
+	}
+	return "fp32"
+}
+
+// Resources is an FPGA utilization estimate.
+type Resources struct {
+	LUTs, FFs, DSPs int
+	// RAMBytes is on-chip RAM (FIFO + LUT storage).
+	RAMBytes int
+}
+
+// Add accumulates another component's resources.
+func (r *Resources) Add(o Resources) {
+	r.LUTs += o.LUTs
+	r.FFs += o.FFs
+	r.DSPs += o.DSPs
+	r.RAMBytes += o.RAMBytes
+}
+
+// Scale multiplies a component's resources by a count.
+func (r Resources) Scale(n int) Resources {
+	return Resources{LUTs: r.LUTs * n, FFs: r.FFs * n, DSPs: r.DSPs * n,
+		RAMBytes: r.RAMBytes * n}
+}
+
+// Component cost library, calibrated so that the optimized FP16 design at
+// FIFO depth 64 lands on the paper's Table 6 footprint (553 LUTs, 3 DSPs,
+// 0.5 KB RAM) and the relative savings across design points track Fig. 16.
+// Costs approximate Xilinx UltraScale+ floating-point operator IP.
+var (
+	fpAdd = map[Precision]Resources{
+		FP32: {LUTs: 215, FFs: 324, DSPs: 2},
+		FP16: {LUTs: 50, FFs: 90, DSPs: 0},
+	}
+	fpMul = map[Precision]Resources{
+		FP32: {LUTs: 130, FFs: 196, DSPs: 3},
+		FP16: {LUTs: 30, FFs: 60, DSPs: 1},
+	}
+	// fpDiv is a full floating-point divider. The optimized designs
+	// eliminate every divider by multiplying with offline-precomputed
+	// reciprocals (§5.2.2); only the Non_Opt baseline instantiates them.
+	fpDiv = map[Precision]Resources{
+		FP32: {LUTs: 750, FFs: 1100, DSPs: 0},
+		FP16: {LUTs: 210, FFs: 320, DSPs: 0},
+	}
+	// mux2 is a 2:1 multiplexer over one operand word.
+	mux2 = map[Precision]Resources{
+		FP32: {LUTs: 32, FFs: 0},
+		FP16: {LUTs: 10, FFs: 0},
+	}
+	// comparator drives the argmin scan over scores.
+	comparator = map[Precision]Resources{
+		FP32: {LUTs: 40, FFs: 16},
+		FP16: {LUTs: 20, FFs: 8},
+	}
+	// controller covers the FSM, request hand-shaking and LUT addressing.
+	controller = Resources{LUTs: 80, FFs: 120}
+	// monitor is the zero-counting circuit of the runtime monitor plus
+	// its accumulator; the accumulate-multiply sits in one DSP.
+	monitor = Resources{LUTs: 40, FFs: 60, DSPs: 1}
+)
+
+// wordBits returns the operand width.
+func wordBits(p Precision) int {
+	if p == FP16 {
+		return 16
+	}
+	return 32
+}
+
+// fifoCost models one FIFO of the given depth and word width: registers
+// for the head/tail stages, control LUTs, and RAM for the body.
+func fifoCost(depth, bits int) Resources {
+	return Resources{
+		LUTs:     24,
+		FFs:      2*bits + 16,
+		RAMBytes: depth * bits / 8,
+	}
+}
+
+// Design identifies one synthesized configuration of the scheduler.
+type Design struct {
+	// Precision is the datapath datatype.
+	Precision Precision
+	// SharedComputeUnit applies the reconfigurable-unit optimization of
+	// §5.2.2: one mux-steered unit serves both the sparsity-coefficient
+	// and score dataflows instead of two separate units.
+	SharedComputeUnit bool
+	// FIFODepth is the request capacity (the paper evaluates 512 and 64).
+	FIFODepth int
+}
+
+// String names the design in the paper's Fig. 16 notation.
+func (d Design) String() string {
+	name := "Non_Opt_"
+	if d.SharedComputeUnit {
+		name = "Opt_"
+	}
+	if d.Precision == FP16 {
+		name += "FP16"
+	} else {
+		name += "FP32"
+	}
+	return fmt.Sprintf("%s(depth %d)", name, d.FIFODepth)
+}
+
+// NonOptFP32 returns the unoptimized FP32 baseline design.
+func NonOptFP32(depth int) Design {
+	return Design{Precision: FP32, SharedComputeUnit: false, FIFODepth: depth}
+}
+
+// OptFP32 returns the shared-compute-unit FP32 design.
+func OptFP32(depth int) Design {
+	return Design{Precision: FP32, SharedComputeUnit: true, FIFODepth: depth}
+}
+
+// OptFP16 returns the fully optimized design of the paper (shared unit +
+// FP16), the one deployed next to Eyeriss-V2 in Table 6.
+func OptFP16(depth int) Design {
+	return Design{Precision: FP16, SharedComputeUnit: true, FIFODepth: depth}
+}
+
+// Estimate returns the FPGA resource footprint of the design.
+//
+// The Non_Opt baseline instantiates the two dataflows of Fig. 11 as
+// separate units with real dividers: the score unit (2 adders, 2
+// subtractors, 2 multipliers, 1 divider for the normalized isolation
+// time) and the coefficient unit (1 divider by the layer shape plus 1
+// multiplier). The optimized designs share a single six-operator unit
+// through the mux/demux steering network of Fig. 10 and replace every
+// division with a multiplication by an offline-precomputed reciprocal.
+func Estimate(d Design) Resources {
+	p := d.Precision
+	var r Resources
+
+	if d.SharedComputeUnit {
+		r.Add(fpAdd[p].Scale(4)) // 2 adders + 2 subtractors
+		r.Add(fpMul[p].Scale(2))
+		r.Add(mux2[p].Scale(6)) // 5 muxes + 1 demux (Fig. 10)
+	} else {
+		// Score unit with its divider.
+		r.Add(fpAdd[p].Scale(4))
+		r.Add(fpMul[p].Scale(2))
+		r.Add(fpDiv[p])
+		// Separate sparsity-coefficient unit (Fig. 11a).
+		r.Add(fpDiv[p])
+		r.Add(fpMul[p])
+	}
+
+	r.Add(comparator[p])
+	r.Add(controller)
+	r.Add(monitor)
+
+	// FIFOs: tags (8-bit IDs), scores, SLOs and remaining-time words
+	// (Fig. 10's Tags/Score queues plus per-request timing state).
+	r.Add(fifoCost(d.FIFODepth, 8))
+	r.Add(fifoCost(d.FIFODepth, wordBits(p)).Scale(3))
+	return r
+}
+
+// EyerissV2Resources is the accelerator-side utilization the paper quotes
+// from the third-party Eyeriss-V2 FPGA implementation (Table 6), used to
+// express the scheduler's overhead as a ratio.
+var EyerissV2Resources = Resources{
+	LUTs:     99168,
+	DSPs:     194,
+	RAMBytes: 140 * 1024,
+	FFs:      120000, // not reported in Table 6; representative scale
+}
+
+// Overhead returns the scheduler's resource overhead relative to
+// Eyeriss-V2 (Table 6's bottom row), as fractions.
+func Overhead(sched Resources) (lutFrac, dspFrac, ramFrac float64) {
+	e := EyerissV2Resources
+	return float64(sched.LUTs) / float64(e.LUTs+sched.LUTs),
+		float64(sched.DSPs) / float64(e.DSPs+sched.DSPs),
+		float64(sched.RAMBytes) / float64(e.RAMBytes+sched.RAMBytes)
+}

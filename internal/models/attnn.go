@@ -1,0 +1,52 @@
+package models
+
+import "fmt"
+
+// This file builds the three attention-based language models of the
+// benchmark (paper Table 3). Each schedulable layer is one transformer
+// block, matching the paper's per-layer profiling granularity (Fig. 9 plots
+// 12 layer indices for BERT and GPT-2).
+//
+// Sequence lengths reflect each model's benchmark task: BERT runs SQuAD
+// question answering (384 tokens, the standard SQuAD configuration), GPT-2
+// runs GLUE-style language tasks (256 tokens), and BART runs machine
+// translation (128-token segments).
+
+// transformer builds a stack of identical blocks.
+func transformer(name string, blocks, seqLen, hidden, heads, ffnDim int) []Layer {
+	layers := make([]Layer, 0, blocks)
+	for i := 0; i < blocks; i++ {
+		layers = append(layers,
+			attnBlock(fmt.Sprintf("%s_block%d", name, i), seqLen, hidden, heads, ffnDim))
+	}
+	return layers
+}
+
+// BERTBase returns the 12-block BERT-base encoder (hidden 768, 12 heads,
+// FFN 3072) at SQuAD sequence length 384.
+func BERTBase() *Model {
+	return &Model{
+		Name:   "bert",
+		Family: AttNN,
+		Layers: transformer("enc", 12, 384, 768, 12, 3072),
+	}
+}
+
+// GPT2Small returns the 12-block GPT-2 small decoder (hidden 768, 12
+// heads, FFN 3072) at sequence length 256.
+func GPT2Small() *Model {
+	return &Model{
+		Name:   "gpt2",
+		Family: AttNN,
+		Layers: transformer("dec", 12, 256, 768, 12, 3072),
+	}
+}
+
+// BARTBase returns the 12-block BART-base encoder-decoder (6+6 blocks,
+// hidden 768, 12 heads, FFN 3072) at sequence length 128.
+func BARTBase() *Model {
+	m := &Model{Name: "bart", Family: AttNN}
+	m.Layers = append(m.Layers, transformer("enc", 6, 128, 768, 12, 3072)...)
+	m.Layers = append(m.Layers, transformer("dec", 6, 128, 768, 12, 3072)...)
+	return m
+}

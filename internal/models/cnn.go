@@ -1,0 +1,321 @@
+package models
+
+import "fmt"
+
+// This file builds the six CNN architectures of the benchmark. Geometry
+// follows the standard torchvision definitions; pooling and normalization
+// layers are folded into the layer geometry (they carry no MACs and are not
+// independently scheduled — the paper schedules compute layers).
+
+// convRect constructs a Conv layer with a rectangular kernel (used by the
+// Inception 1x7/7x1 factorized convolutions).
+func convRect(name string, cin, cout, kh, kw, stride, inH, inW, padH, padW int) Layer {
+	outH := (inH+2*padH-kh)/stride + 1
+	outW := (inW+2*padW-kw)/stride + 1
+	return Layer{
+		Name: name, Kind: Conv,
+		Cin: cin, Cout: cout, KH: kh, KW: kw, Stride: stride,
+		InH: inH, InW: inW, OutH: outH, OutW: outW,
+	}
+}
+
+// VGG16 returns the 16-layer VGG network for 224x224 ImageNet inputs
+// (13 convolutions + 3 fully connected layers, ~15.5 GMACs).
+func VGG16() *Model {
+	return &Model{
+		Name:   "vgg16",
+		Family: CNN,
+		Layers: []Layer{
+			conv("conv1_1", 3, 64, 3, 1, 224, 224, 1),
+			conv("conv1_2", 64, 64, 3, 1, 224, 224, 1),
+			conv("conv2_1", 64, 128, 3, 1, 112, 112, 1),
+			conv("conv2_2", 128, 128, 3, 1, 112, 112, 1),
+			conv("conv3_1", 128, 256, 3, 1, 56, 56, 1),
+			conv("conv3_2", 256, 256, 3, 1, 56, 56, 1),
+			conv("conv3_3", 256, 256, 3, 1, 56, 56, 1),
+			conv("conv4_1", 256, 512, 3, 1, 28, 28, 1),
+			conv("conv4_2", 512, 512, 3, 1, 28, 28, 1),
+			conv("conv4_3", 512, 512, 3, 1, 28, 28, 1),
+			conv("conv5_1", 512, 512, 3, 1, 14, 14, 1),
+			conv("conv5_2", 512, 512, 3, 1, 14, 14, 1),
+			conv("conv5_3", 512, 512, 3, 1, 14, 14, 1),
+			fc("fc6", 25088, 4096),
+			fc("fc7", 4096, 4096),
+			fc("fc8", 4096, 1000),
+		},
+	}
+}
+
+// ResNet50 returns the 50-layer residual network for 224x224 inputs
+// (~4.1 GMACs). Bottlenecks follow the torchvision layout with the stride
+// on the 3x3 convolution and 1x1 projection shortcuts at stage entries.
+func ResNet50() *Model {
+	m := &Model{Name: "resnet50", Family: CNN}
+	m.Layers = append(m.Layers, conv("conv1", 3, 64, 7, 2, 224, 224, 3))
+
+	type stage struct {
+		blocks, width, stride, size int
+	}
+	// width is the bottleneck's inner width; output channels are 4*width.
+	// size is the stage's output spatial resolution.
+	stages := []stage{
+		{blocks: 3, width: 64, stride: 1, size: 56},
+		{blocks: 4, width: 128, stride: 2, size: 28},
+		{blocks: 6, width: 256, stride: 2, size: 14},
+		{blocks: 3, width: 512, stride: 2, size: 7},
+	}
+	cin := 64 // after conv1 + maxpool (56x56)
+	for si, st := range stages {
+		inSize := st.size * st.stride
+		for b := 0; b < st.blocks; b++ {
+			prefix := fmt.Sprintf("res%d_%d", si+2, b)
+			stride, sz := 1, st.size
+			if b == 0 {
+				stride = st.stride
+				sz = inSize
+			}
+			m.Layers = append(m.Layers,
+				conv(prefix+"_a", cin, st.width, 1, 1, sz, sz, 0),
+				conv(prefix+"_b", st.width, st.width, 3, stride, sz, sz, 1),
+				conv(prefix+"_c", st.width, st.width*4, 1, 1, st.size, st.size, 0),
+			)
+			if b == 0 {
+				m.Layers = append(m.Layers,
+					conv(prefix+"_proj", cin, st.width*4, 1, stride, sz, sz, 0))
+			}
+			cin = st.width * 4
+		}
+	}
+	m.Layers = append(m.Layers, fc("fc", 2048, 1000))
+	return m
+}
+
+// MobileNet returns MobileNetV1 (width 1.0) for 224x224 inputs
+// (~570 MMACs): a stem convolution followed by 13 depthwise-separable
+// blocks and a classifier.
+func MobileNet() *Model {
+	m := &Model{Name: "mobilenet", Family: CNN}
+	m.Layers = append(m.Layers, conv("conv1", 3, 32, 3, 2, 224, 224, 1))
+
+	type block struct {
+		cin, cout, stride, inSize int
+	}
+	blocks := []block{
+		{32, 64, 1, 112},
+		{64, 128, 2, 112},
+		{128, 128, 1, 56},
+		{128, 256, 2, 56},
+		{256, 256, 1, 28},
+		{256, 512, 2, 28},
+		{512, 512, 1, 14},
+		{512, 512, 1, 14},
+		{512, 512, 1, 14},
+		{512, 512, 1, 14},
+		{512, 512, 1, 14},
+		{512, 1024, 2, 14},
+		{1024, 1024, 1, 7},
+	}
+	for i, b := range blocks {
+		outSize := b.inSize / b.stride
+		m.Layers = append(m.Layers,
+			dwconv(fmt.Sprintf("dw%d", i+1), b.cin, 3, b.stride, b.inSize, b.inSize, 1),
+			conv(fmt.Sprintf("pw%d", i+1), b.cin, b.cout, 1, 1, outSize, outSize, 0),
+		)
+	}
+	m.Layers = append(m.Layers, fc("fc", 1024, 1000))
+	return m
+}
+
+// SSD300 returns the SSD object detector with a VGG-16 backbone for
+// 300x300 inputs and 81 output classes (COCO), including the converted
+// fc6/fc7 convolutions, the extra feature layers and the multibox heads.
+func SSD300() *Model {
+	m := &Model{Name: "ssd", Family: CNN}
+	add := func(ls ...Layer) { m.Layers = append(m.Layers, ls...) }
+
+	// VGG-16 backbone up to conv5_3 at 300x300 input.
+	add(
+		conv("conv1_1", 3, 64, 3, 1, 300, 300, 1),
+		conv("conv1_2", 64, 64, 3, 1, 300, 300, 1),
+		conv("conv2_1", 64, 128, 3, 1, 150, 150, 1),
+		conv("conv2_2", 128, 128, 3, 1, 150, 150, 1),
+		conv("conv3_1", 128, 256, 3, 1, 75, 75, 1),
+		conv("conv3_2", 256, 256, 3, 1, 75, 75, 1),
+		conv("conv3_3", 256, 256, 3, 1, 75, 75, 1),
+		conv("conv4_1", 256, 512, 3, 1, 38, 38, 1),
+		conv("conv4_2", 512, 512, 3, 1, 38, 38, 1),
+		conv("conv4_3", 512, 512, 3, 1, 38, 38, 1),
+		conv("conv5_1", 512, 512, 3, 1, 19, 19, 1),
+		conv("conv5_2", 512, 512, 3, 1, 19, 19, 1),
+		conv("conv5_3", 512, 512, 3, 1, 19, 19, 1),
+		// fc6/fc7 converted to (dilated) convolutions.
+		conv("conv6", 512, 1024, 3, 1, 19, 19, 1),
+		conv("conv7", 1024, 1024, 1, 1, 19, 19, 0),
+		// Extra feature layers.
+		conv("conv8_1", 1024, 256, 1, 1, 19, 19, 0),
+		conv("conv8_2", 256, 512, 3, 2, 19, 19, 1),
+		conv("conv9_1", 512, 128, 1, 1, 10, 10, 0),
+		conv("conv9_2", 128, 256, 3, 2, 10, 10, 1),
+		conv("conv10_1", 256, 128, 1, 1, 5, 5, 0),
+		conv("conv10_2", 128, 256, 3, 1, 5, 5, 0),
+		conv("conv11_1", 256, 128, 1, 1, 3, 3, 0),
+		conv("conv11_2", 128, 256, 3, 1, 3, 3, 0),
+	)
+
+	// Multibox heads: a localization (4 coords) and a confidence
+	// (81 classes) 3x3 convolution per feature map.
+	const classes = 81
+	heads := []struct {
+		name        string
+		cin, priors int
+		size        int
+	}{
+		{"conv4_3", 512, 4, 38},
+		{"conv7", 1024, 6, 19},
+		{"conv8_2", 512, 6, 10},
+		{"conv9_2", 256, 6, 5},
+		{"conv10_2", 256, 4, 3},
+		{"conv11_2", 256, 4, 1},
+	}
+	for _, h := range heads {
+		add(
+			conv("loc_"+h.name, h.cin, 4*h.priors, 3, 1, h.size, h.size, 1),
+			conv("conf_"+h.name, h.cin, classes*h.priors, 3, 1, h.size, h.size, 1),
+		)
+	}
+	return m
+}
+
+// inceptionModule appends a GoogLeNet Inception module's convolutions.
+func inceptionModule(m *Model, name string, size, cin, c1, c3r, c3, c5r, c5, pp int) int {
+	m.Layers = append(m.Layers,
+		conv(name+"_1x1", cin, c1, 1, 1, size, size, 0),
+		conv(name+"_3x3r", cin, c3r, 1, 1, size, size, 0),
+		conv(name+"_3x3", c3r, c3, 3, 1, size, size, 1),
+		conv(name+"_5x5r", cin, c5r, 1, 1, size, size, 0),
+		conv(name+"_5x5", c5r, c5, 5, 1, size, size, 2),
+		conv(name+"_pool", cin, pp, 1, 1, size, size, 0),
+	)
+	return c1 + c3 + c5 + pp
+}
+
+// GoogLeNet returns the 22-layer Inception-v1 network for 224x224 inputs
+// (~1.5 GMACs). It appears in the paper's Table 2 network-sparsity
+// profiling.
+func GoogLeNet() *Model {
+	m := &Model{Name: "googlenet", Family: CNN}
+	m.Layers = append(m.Layers,
+		conv("conv1", 3, 64, 7, 2, 224, 224, 3),
+		conv("conv2_reduce", 64, 64, 1, 1, 56, 56, 0),
+		conv("conv2", 64, 192, 3, 1, 56, 56, 1),
+	)
+	cin := 192
+	cin = inceptionModule(m, "3a", 28, cin, 64, 96, 128, 16, 32, 32)
+	cin = inceptionModule(m, "3b", 28, cin, 128, 128, 192, 32, 96, 64)
+	cin = inceptionModule(m, "4a", 14, cin, 192, 96, 208, 16, 48, 64)
+	cin = inceptionModule(m, "4b", 14, cin, 160, 112, 224, 24, 64, 64)
+	cin = inceptionModule(m, "4c", 14, cin, 128, 128, 256, 24, 64, 64)
+	cin = inceptionModule(m, "4d", 14, cin, 112, 144, 288, 32, 64, 64)
+	cin = inceptionModule(m, "4e", 14, cin, 256, 160, 320, 32, 128, 128)
+	cin = inceptionModule(m, "5a", 7, cin, 256, 160, 320, 32, 128, 128)
+	cin = inceptionModule(m, "5b", 7, cin, 384, 192, 384, 48, 128, 128)
+	m.Layers = append(m.Layers, fc("fc", cin, 1000))
+	return m
+}
+
+// InceptionV3 returns the Inception-v3 network for 299x299 inputs
+// (~5.7 GMACs), with the factorized 1x7/7x1 modules of the original paper.
+// It appears in the paper's Table 2 profiling.
+func InceptionV3() *Model {
+	m := &Model{Name: "inceptionv3", Family: CNN}
+	add := func(ls ...Layer) { m.Layers = append(m.Layers, ls...) }
+
+	// Stem.
+	add(
+		conv("stem1", 3, 32, 3, 2, 299, 299, 0),
+		conv("stem2", 32, 32, 3, 1, 149, 149, 0),
+		conv("stem3", 32, 64, 3, 1, 147, 147, 1),
+		conv("stem4", 64, 80, 1, 1, 73, 73, 0),
+		conv("stem5", 80, 192, 3, 1, 73, 73, 0),
+	)
+
+	// Inception-A modules at 35x35.
+	inceptionA := func(name string, cin, poolProj int) int {
+		add(
+			conv(name+"_1x1", cin, 64, 1, 1, 35, 35, 0),
+			conv(name+"_5x5r", cin, 48, 1, 1, 35, 35, 0),
+			conv(name+"_5x5", 48, 64, 5, 1, 35, 35, 2),
+			conv(name+"_3x3r", cin, 64, 1, 1, 35, 35, 0),
+			conv(name+"_3x3a", 64, 96, 3, 1, 35, 35, 1),
+			conv(name+"_3x3b", 96, 96, 3, 1, 35, 35, 1),
+			conv(name+"_pool", cin, poolProj, 1, 1, 35, 35, 0),
+		)
+		return 64 + 64 + 96 + poolProj
+	}
+	cin := 192
+	cin = inceptionA("mixed5b", cin, 32)
+	cin = inceptionA("mixed5c", cin, 64)
+	cin = inceptionA("mixed5d", cin, 64)
+
+	// Reduction-A to 17x17.
+	add(
+		conv("mixed6a_3x3", cin, 384, 3, 2, 35, 35, 0),
+		conv("mixed6a_dblr", cin, 64, 1, 1, 35, 35, 0),
+		conv("mixed6a_dbla", 64, 96, 3, 1, 35, 35, 1),
+		conv("mixed6a_dblb", 96, 96, 3, 2, 35, 35, 0),
+	)
+	cin = 384 + 96 + cin
+
+	// Inception-B modules at 17x17 with factorized 7x7 branches.
+	inceptionB := func(name string, cin, c7 int) int {
+		add(
+			conv(name+"_1x1", cin, 192, 1, 1, 17, 17, 0),
+			conv(name+"_7x7r", cin, c7, 1, 1, 17, 17, 0),
+			convRect(name+"_7x7a", c7, c7, 1, 7, 1, 17, 17, 0, 3),
+			convRect(name+"_7x7b", c7, 192, 7, 1, 1, 17, 17, 3, 0),
+			conv(name+"_dblr", cin, c7, 1, 1, 17, 17, 0),
+			convRect(name+"_dbla", c7, c7, 7, 1, 1, 17, 17, 3, 0),
+			convRect(name+"_dblb", c7, c7, 1, 7, 1, 17, 17, 0, 3),
+			convRect(name+"_dblc", c7, c7, 7, 1, 1, 17, 17, 3, 0),
+			convRect(name+"_dbld", c7, 192, 1, 7, 1, 17, 17, 0, 3),
+			conv(name+"_pool", cin, 192, 1, 1, 17, 17, 0),
+		)
+		return 4 * 192
+	}
+	cin = inceptionB("mixed6b", cin, 128)
+	cin = inceptionB("mixed6c", cin, 160)
+	cin = inceptionB("mixed6d", cin, 160)
+	cin = inceptionB("mixed6e", cin, 192)
+
+	// Reduction-B to 8x8.
+	add(
+		conv("mixed7a_3x3r", cin, 192, 1, 1, 17, 17, 0),
+		conv("mixed7a_3x3", 192, 320, 3, 2, 17, 17, 0),
+		conv("mixed7a_7x7r", cin, 192, 1, 1, 17, 17, 0),
+		convRect("mixed7a_7x7a", 192, 192, 1, 7, 1, 17, 17, 0, 3),
+		convRect("mixed7a_7x7b", 192, 192, 7, 1, 1, 17, 17, 3, 0),
+		conv("mixed7a_7x7c", 192, 192, 3, 2, 17, 17, 0),
+	)
+	cin = 320 + 192 + cin
+
+	// Inception-C modules at 8x8.
+	inceptionC := func(name string, cin int) int {
+		add(
+			conv(name+"_1x1", cin, 320, 1, 1, 8, 8, 0),
+			conv(name+"_3x3r", cin, 384, 1, 1, 8, 8, 0),
+			convRect(name+"_3x3a", 384, 384, 1, 3, 1, 8, 8, 0, 1),
+			convRect(name+"_3x3b", 384, 384, 3, 1, 1, 8, 8, 1, 0),
+			conv(name+"_dblr", cin, 448, 1, 1, 8, 8, 0),
+			conv(name+"_dbl3", 448, 384, 3, 1, 8, 8, 1),
+			convRect(name+"_dbla", 384, 384, 1, 3, 1, 8, 8, 0, 1),
+			convRect(name+"_dblb", 384, 384, 3, 1, 1, 8, 8, 1, 0),
+			conv(name+"_pool", cin, 192, 1, 1, 8, 8, 0),
+		)
+		return 320 + 2*384 + 2*384 + 192
+	}
+	cin = inceptionC("mixed7b", cin)
+	cin = inceptionC("mixed7c", cin)
+
+	m.Layers = append(m.Layers, fc("fc", cin, 1000))
+	return m
+}

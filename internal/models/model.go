@@ -1,0 +1,92 @@
+package models
+
+import "fmt"
+
+// Family distinguishes the two model classes of the benchmark; it selects
+// the target accelerator (Eyeriss-V2 for CNNs, Sanger for AttNNs) exactly
+// as in paper §3.3.2.
+type Family int
+
+const (
+	// CNN models run on the sparse CNN accelerator (Eyeriss-V2).
+	CNN Family = iota
+	// AttNN models run on the sparse attention accelerator (Sanger).
+	AttNN
+)
+
+// String returns the family name.
+func (f Family) String() string {
+	if f == CNN {
+		return "cnn"
+	}
+	return "attnn"
+}
+
+// Model is an immutable architectural description of one benchmark network.
+type Model struct {
+	Name   string
+	Family Family
+	Layers []Layer
+}
+
+// NumLayers returns the number of schedulable layers.
+func (m *Model) NumLayers() int { return len(m.Layers) }
+
+// TotalMACs returns the dense MAC count over all layers.
+func (m *Model) TotalMACs() int64 {
+	var sum int64
+	for _, l := range m.Layers {
+		sum += l.MACs()
+	}
+	return sum
+}
+
+// TotalParams returns the parameter count over all layers.
+func (m *Model) TotalParams() int64 {
+	var sum int64
+	for _, l := range m.Layers {
+		sum += l.Params()
+	}
+	return sum
+}
+
+// builders maps model names to constructors; the registry backs ByName and
+// keeps cmd-line tooling in sync with the zoo.
+var builders = map[string]func() *Model{
+	"vgg16":       VGG16,
+	"resnet50":    ResNet50,
+	"mobilenet":   MobileNet,
+	"ssd":         SSD300,
+	"googlenet":   GoogLeNet,
+	"inceptionv3": InceptionV3,
+	"bert":        BERTBase,
+	"gpt2":        GPT2Small,
+	"bart":        BARTBase,
+}
+
+// Names lists the zoo's model names in a stable order.
+func Names() []string {
+	return []string{"vgg16", "resnet50", "mobilenet", "ssd", "googlenet",
+		"inceptionv3", "bert", "gpt2", "bart"}
+}
+
+// ByName constructs the named model, or returns an error listing valid
+// names.
+func ByName(name string) (*Model, error) {
+	if b, ok := builders[name]; ok {
+		return b(), nil
+	}
+	return nil, fmt.Errorf("models: unknown model %q (valid: %v)", name, Names())
+}
+
+// BenchmarkCNNs returns fresh instances of the four vision models of paper
+// Table 3.
+func BenchmarkCNNs() []*Model {
+	return []*Model{SSD300(), ResNet50(), VGG16(), MobileNet()}
+}
+
+// BenchmarkAttNNs returns fresh instances of the three language models of
+// paper Table 3.
+func BenchmarkAttNNs() []*Model {
+	return []*Model{BERTBase(), BARTBase(), GPT2Small()}
+}

@@ -1,0 +1,237 @@
+package models
+
+import (
+	"math"
+	"testing"
+)
+
+// gmacs converts a MAC count to GMACs for readability.
+func gmacs(n int64) float64 { return float64(n) / 1e9 }
+
+// withinPct reports whether got is within pct percent of want.
+func withinPct(got, want, pct float64) bool {
+	return math.Abs(got-want) <= want*pct/100
+}
+
+// TestPublishedMACCounts pins each model's total MACs to its published
+// value. These anchor the latency models: if the architecture descriptions
+// drift, every downstream experiment shifts.
+func TestPublishedMACCounts(t *testing.T) {
+	cases := []struct {
+		build func() *Model
+		want  float64 // GMACs
+		tol   float64 // percent
+	}{
+		{VGG16, 15.47, 3},
+		{ResNet50, 4.09, 5},
+		{MobileNet, 0.569, 5},
+		{GoogLeNet, 1.5, 10},
+		{InceptionV3, 5.7, 10},
+		{SSD300, 31.4, 15},
+	}
+	for _, c := range cases {
+		m := c.build()
+		got := gmacs(m.TotalMACs())
+		if !withinPct(got, c.want, c.tol) {
+			t.Errorf("%s: %.3f GMACs, want %.3f ±%.0f%%", m.Name, got, c.want, c.tol)
+		}
+	}
+}
+
+func TestPublishedParamCounts(t *testing.T) {
+	cases := []struct {
+		build func() *Model
+		want  float64 // millions of parameters
+		tol   float64 // percent
+	}{
+		{VGG16, 138, 3},
+		{ResNet50, 25.5, 10},
+		{MobileNet, 4.2, 10},
+	}
+	for _, c := range cases {
+		m := c.build()
+		got := float64(m.TotalParams()) / 1e6
+		if !withinPct(got, c.want, c.tol) {
+			t.Errorf("%s: %.2fM params, want %.2fM ±%.0f%%", m.Name, got, c.want, c.tol)
+		}
+	}
+}
+
+// TestBERTMACs checks the analytical transformer MAC formula against a
+// hand computation for BERT-base at S=384:
+// per block = 4*H^2*S (projections) + 2*S^2*H (attention) + 2*H*FFN*S.
+func TestBERTMACs(t *testing.T) {
+	m := BERTBase()
+	const h, s, f = 768, 384, 3072
+	perBlock := int64(4*h*h*s) + int64(2*s*s*h) + int64(2*h*f*s)
+	want := 12 * perBlock
+	if got := m.TotalMACs(); got != want {
+		t.Errorf("BERT MACs = %d, want %d", got, want)
+	}
+}
+
+func TestAttentionMatrixMACs(t *testing.T) {
+	b := attnBlock("b", 384, 768, 12, 3072)
+	want := int64(2 * 384 * 384 * 768)
+	if got := b.AttnMatrixMACs(); got != want {
+		t.Errorf("AttnMatrixMACs = %d, want %d", got, want)
+	}
+	// The attention part must be a minority of block MACs at these sizes;
+	// dynamic sparsity acts on it (relevant to the Sanger latency model).
+	if frac := float64(b.AttnMatrixMACs()) / float64(b.MACs()); frac > 0.2 {
+		t.Errorf("attention fraction %.3f unexpectedly high", frac)
+	}
+}
+
+func TestLayerCounts(t *testing.T) {
+	cases := []struct {
+		build func() *Model
+		want  int
+	}{
+		{VGG16, 16},
+		{ResNet50, 1 + (3+4+6+3)*3 + 4 + 1}, // conv1 + bottleneck convs + projections + fc
+		{MobileNet, 1 + 13*2 + 1},
+		{BERTBase, 12},
+		{GPT2Small, 12},
+		{BARTBase, 12},
+	}
+	for _, c := range cases {
+		m := c.build()
+		if got := m.NumLayers(); got != c.want {
+			t.Errorf("%s: %d layers, want %d", m.Name, got, c.want)
+		}
+	}
+}
+
+func TestConvGeometry(t *testing.T) {
+	l := conv("x", 3, 64, 7, 2, 224, 224, 3)
+	if l.OutH != 112 || l.OutW != 112 {
+		t.Errorf("7x7/2 pad3 on 224 -> %dx%d, want 112x112", l.OutH, l.OutW)
+	}
+	l = conv("y", 64, 64, 3, 1, 56, 56, 1)
+	if l.OutH != 56 {
+		t.Errorf("3x3/1 pad1 on 56 -> %d, want 56", l.OutH)
+	}
+	l = convRect("z", 8, 16, 1, 7, 1, 17, 17, 0, 3)
+	if l.OutH != 17 || l.OutW != 17 {
+		t.Errorf("1x7 pad(0,3) on 17 -> %dx%d, want 17x17", l.OutH, l.OutW)
+	}
+}
+
+func TestDWConvMACs(t *testing.T) {
+	l := dwconv("dw", 32, 3, 1, 112, 112, 1)
+	want := int64(32 * 3 * 3 * 112 * 112)
+	if got := l.MACs(); got != want {
+		t.Errorf("depthwise MACs = %d, want %d", got, want)
+	}
+	// A depthwise conv has Cin-fold fewer MACs than the standard conv of
+	// the same shape.
+	std := conv("c", 32, 32, 3, 1, 112, 112, 1)
+	if std.MACs() != want*32 {
+		t.Errorf("dw/std MAC ratio wrong: %d vs %d", l.MACs(), std.MACs())
+	}
+}
+
+func TestFCMacsEqualParams(t *testing.T) {
+	l := fc("f", 4096, 1000)
+	if l.MACs() != l.Params() {
+		t.Errorf("FC MACs %d != params %d", l.MACs(), l.Params())
+	}
+}
+
+func TestPoolHasNoMACs(t *testing.T) {
+	l := Layer{Name: "p", Kind: Pool, Cin: 64, Cout: 64, InH: 56, InW: 56, OutH: 28, OutW: 28}
+	if l.MACs() != 0 || l.Params() != 0 {
+		t.Error("pool layer has MACs or params")
+	}
+	if l.InputElems() == 0 || l.OutputElems() == 0 {
+		t.Error("pool layer should still move data")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range Names() {
+		m, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if m.Name != name {
+			t.Errorf("ByName(%q).Name = %q", name, m.Name)
+		}
+		if m.NumLayers() == 0 {
+			t.Errorf("%s has no layers", name)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("ByName accepted unknown model")
+	}
+}
+
+func TestFamilies(t *testing.T) {
+	for _, m := range BenchmarkCNNs() {
+		if m.Family != CNN {
+			t.Errorf("%s family = %v, want CNN", m.Name, m.Family)
+		}
+	}
+	for _, m := range BenchmarkAttNNs() {
+		if m.Family != AttNN {
+			t.Errorf("%s family = %v, want AttNN", m.Name, m.Family)
+		}
+	}
+	if CNN.String() != "cnn" || AttNN.String() != "attnn" {
+		t.Error("family names wrong")
+	}
+}
+
+// TestAllLayersWellFormed guards each generated architecture against
+// geometry bugs: non-positive dims, mismatched chains, zero MACs on
+// compute layers.
+func TestAllLayersWellFormed(t *testing.T) {
+	for _, name := range Names() {
+		m, _ := ByName(name)
+		for i, l := range m.Layers {
+			switch l.Kind {
+			case Conv, DWConv:
+				if l.Cin <= 0 || l.Cout <= 0 || l.OutH <= 0 || l.OutW <= 0 {
+					t.Errorf("%s layer %d (%s): bad geometry %+v", name, i, l.Name, l)
+				}
+			case FC:
+				if l.Cin <= 0 || l.Cout <= 0 {
+					t.Errorf("%s layer %d (%s): bad FC dims", name, i, l.Name)
+				}
+			case Attention:
+				if l.SeqLen <= 0 || l.Hidden <= 0 || l.Heads <= 0 || l.FFNDim <= 0 {
+					t.Errorf("%s layer %d (%s): bad attention dims", name, i, l.Name)
+				}
+			}
+			if l.MACs() <= 0 {
+				t.Errorf("%s layer %d (%s): MACs = %d", name, i, l.Name, l.MACs())
+			}
+			if l.Name == "" {
+				t.Errorf("%s layer %d unnamed", name, i)
+			}
+		}
+	}
+}
+
+// TestLayerNamesUnique ensures trace files keyed by layer name stay
+// unambiguous.
+func TestLayerNamesUnique(t *testing.T) {
+	for _, name := range Names() {
+		m, _ := ByName(name)
+		seen := map[string]bool{}
+		for _, l := range m.Layers {
+			if seen[l.Name] {
+				t.Errorf("%s: duplicate layer name %q", name, l.Name)
+			}
+			seen[l.Name] = true
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Conv.String() != "conv" || DWConv.String() != "dwconv" ||
+		FC.String() != "fc" || Attention.String() != "attn" || Pool.String() != "pool" {
+		t.Error("kind names wrong")
+	}
+}

@@ -1,0 +1,222 @@
+package sched
+
+import (
+	"time"
+
+	"sparsedysta/internal/trace"
+)
+
+// Estimator wraps the offline profiling LUT (trace.StatsSet) with the
+// latency estimates every non-oracle scheduler relies on. This is the
+// "execution time estimates obtained through an offline profiling stage"
+// of paper §2.1.
+//
+// The default Estimator is pattern-blind: its profile is per model,
+// averaged across sparsity patterns, exactly the limitation the paper's
+// Table 1 ascribes to the status-quo schedulers ("Pattern Aware: no").
+// Dysta's LUT (trace.StatsSet used directly in internal/core) keys by
+// model-pattern pair instead.
+type Estimator struct {
+	set *trace.StatsSet
+	// byModel caches the pattern-blind merge per model.
+	byModel map[string]*trace.Stats
+}
+
+// NewEstimator returns a pattern-blind Estimator over the profiling LUT.
+func NewEstimator(set *trace.StatsSet) *Estimator {
+	return &Estimator{set: set, byModel: map[string]*trace.Stats{}}
+}
+
+// stats returns the pattern-blind profile for the task's model.
+func (e *Estimator) stats(t *Task) *trace.Stats {
+	if st, ok := e.byModel[t.Key.Model]; ok {
+		return st
+	}
+	st := e.set.MergedByModel(t.Key.Model)
+	if st == nil {
+		panic("sched: no profiling stats for model " + t.Key.Model)
+	}
+	e.byModel[t.Key.Model] = st
+	return st
+}
+
+// Isolated returns the profiled mean isolated latency of the task's model
+// (across patterns).
+func (e *Estimator) Isolated(t *Task) time.Duration {
+	return e.stats(t).AvgTotal
+}
+
+// Remaining returns the profiled mean latency of the task's unexecuted
+// layers.
+func (e *Estimator) Remaining(t *Task) time.Duration {
+	return e.stats(t).AvgRemaining(t.NextLayer)
+}
+
+// FCFS is First-Come First-Served: non-preemptive in effect, since the
+// earliest arrival stays the minimum until it finishes.
+type FCFS struct{}
+
+// NewFCFS returns the FCFS baseline.
+func NewFCFS() *FCFS { return &FCFS{} }
+
+// Name implements Scheduler.
+func (*FCFS) Name() string { return "FCFS" }
+
+// OnArrival implements Scheduler.
+func (*FCFS) OnArrival(*Task, time.Duration) {}
+
+// OnLayerComplete implements Scheduler.
+func (*FCFS) OnLayerComplete(*Task, int, float64, time.Duration) {}
+
+// PickNext implements Scheduler: earliest arrival, ties by ID.
+func (*FCFS) PickNext(ready []*Task, _ time.Duration) *Task {
+	best := ready[0]
+	for _, t := range ready[1:] {
+		if t.Arrival < best.Arrival || (t.Arrival == best.Arrival && t.ID < best.ID) {
+			best = t
+		}
+	}
+	return best
+}
+
+// SJF is preemptive Shortest-Job First on profiled average remaining time
+// — the "traditional heuristic" of paper §2.3.3, whose latency estimate
+// ignores per-sample sparsity (Fig. 5a).
+type SJF struct {
+	est *Estimator
+}
+
+// NewSJF returns the SJF baseline.
+func NewSJF(est *Estimator) *SJF { return &SJF{est: est} }
+
+// Name implements Scheduler.
+func (*SJF) Name() string { return "SJF" }
+
+// OnArrival implements Scheduler.
+func (*SJF) OnArrival(*Task, time.Duration) {}
+
+// OnLayerComplete implements Scheduler.
+func (*SJF) OnLayerComplete(*Task, int, float64, time.Duration) {}
+
+// PickNext implements Scheduler: minimum estimated remaining time.
+func (s *SJF) PickNext(ready []*Task, _ time.Duration) *Task {
+	best := ready[0]
+	bestRem := s.est.Remaining(best)
+	for _, t := range ready[1:] {
+		if rem := s.est.Remaining(t); rem < bestRem || (rem == bestRem && t.ID < best.ID) {
+			best, bestRem = t, rem
+		}
+	}
+	return best
+}
+
+// Planaria adapts the deadline-driven task selection of Planaria (Ghodrati
+// et al., MICRO 2020) to a time-shared accelerator: with the resource
+// requirement pinned to 1 for every task (paper §6.1), its
+// slack-and-QoS-driven dispatch reduces to least-slack-first among tasks
+// that can still meet their SLO (Planaria's scheduler explicitly checks
+// whether a task fits its remaining slack before committing resources);
+// tasks that can no longer meet their deadline stop pre-empting feasible
+// ones and drain shortest-first. This minimizes SLO violations but makes
+// short jobs queue behind urgent long ones, giving the poor ANTT the paper
+// reports.
+type Planaria struct {
+	est *Estimator
+}
+
+// NewPlanaria returns the Planaria baseline.
+func NewPlanaria(est *Estimator) *Planaria { return &Planaria{est: est} }
+
+// Name implements Scheduler.
+func (*Planaria) Name() string { return "Planaria" }
+
+// OnArrival implements Scheduler.
+func (*Planaria) OnArrival(*Task, time.Duration) {}
+
+// OnLayerComplete implements Scheduler.
+func (*Planaria) OnLayerComplete(*Task, int, float64, time.Duration) {}
+
+// PickNext implements Scheduler: least slack first among feasible tasks;
+// if none is feasible, shortest remaining among the hopeless.
+func (p *Planaria) PickNext(ready []*Task, now time.Duration) *Task {
+	var best *Task
+	var bestSlack float64
+	for _, t := range ready {
+		slack := ms(t.Deadline()-now) - ms(p.est.Remaining(t))
+		if slack < 0 {
+			continue
+		}
+		if best == nil || slack < bestSlack || (slack == bestSlack && t.ID < best.ID) {
+			best, bestSlack = t, slack
+		}
+	}
+	if best != nil {
+		return best
+	}
+	// All hopeless: drain shortest-first to limit the damage.
+	best = ready[0]
+	bestRem := p.est.Remaining(best)
+	for _, t := range ready[1:] {
+		if rem := p.est.Remaining(t); rem < bestRem || (rem == bestRem && t.ID < best.ID) {
+			best, bestRem = t, rem
+		}
+	}
+	return best
+}
+
+// Oracle is the paper's upper-bound scheduler (§6.4): it scores tasks with
+// the same balanced objective as Dysta's dynamic level but substitutes the
+// ground-truth remaining latency for the prediction, so it bounds what any
+// latency predictor could achieve.
+type Oracle struct {
+	// Eta balances the remaining-time (ANTT) and slack (violation)
+	// objectives exactly as in Dysta's dynamic score.
+	Eta float64
+	// DemotionMS is added to the score of tasks that can no longer meet
+	// their deadline, mirroring Dysta's hopeless-task demotion.
+	DemotionMS float64
+}
+
+// NewOracle returns the Oracle scheduler with the given eta and the
+// default demotion.
+func NewOracle(eta float64) *Oracle { return &Oracle{Eta: eta, DemotionMS: 1000} }
+
+// Name implements Scheduler.
+func (*Oracle) Name() string { return "Oracle" }
+
+// OnArrival implements Scheduler.
+func (*Oracle) OnArrival(*Task, time.Duration) {}
+
+// OnLayerComplete implements Scheduler.
+func (*Oracle) OnLayerComplete(*Task, int, float64, time.Duration) {}
+
+// PickNext implements Scheduler.
+func (o *Oracle) PickNext(ready []*Task, now time.Duration) *Task {
+	best := ready[0]
+	bestScore := o.score(best, now)
+	for _, t := range ready[1:] {
+		if sc := o.score(t, now); sc < bestScore || (sc == bestScore && t.ID < best.ID) {
+			best, bestScore = t, sc
+		}
+	}
+	return best
+}
+
+// score mirrors Dysta's dynamic score (Alg. 2 line 11) with perfect
+// latency information, in milliseconds. Negative slack is clamped to zero
+// so already-hopeless tasks compete on remaining time instead of hijacking
+// the queue (the EDF overload pathology).
+func (o *Oracle) score(t *Task, now time.Duration) float64 {
+	remain := ms(t.TrueRemaining())
+	slack := ms(t.Deadline()-now) - remain
+	demotion := 0.0
+	if slack < 0 {
+		slack = 0
+		demotion = o.DemotionMS
+	}
+	return remain + o.Eta*slack + demotion
+}
+
+// ms converts a duration to float64 milliseconds, the score unit used
+// throughout the schedulers (matching the FP16 hardware's operand scale).
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

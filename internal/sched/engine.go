@@ -1,0 +1,291 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"sparsedysta/internal/stats"
+	"sparsedysta/internal/workload"
+)
+
+// Options tunes the engine.
+type Options struct {
+	// PreemptionOverhead is charged whenever the engine switches away
+	// from the previously running task at a layer boundary. The paper's
+	// preemptive time-multiplexing model treats this as negligible;
+	// nonzero values support overhead-sensitivity ablations.
+	PreemptionOverhead time.Duration
+	// RecordTimeline captures the execution schedule in Result.Timeline
+	// (off by default: long runs record many spans).
+	RecordTimeline bool
+	// RecordTasks captures per-request outcomes in Result.Tasks.
+	RecordTasks bool
+}
+
+// Result aggregates one simulation run's metrics (paper §6.1).
+type Result struct {
+	Scheduler string
+	// ANTT is the average normalized turnaround time:
+	// mean(T_multi / T_isol) over requests.
+	ANTT float64
+	// ViolationRate is the fraction of requests finishing past
+	// Arrival + SLO.
+	ViolationRate float64
+	// Throughput is completed requests per second of makespan (the
+	// paper's STP, inf/s).
+	Throughput float64
+	// MeanLatency and P99Latency summarize multi-tenant turnaround.
+	MeanLatency time.Duration
+	P99Latency  time.Duration
+	// Preemptions counts scheduling decisions that switched tasks while
+	// the previous choice still had layers left.
+	Preemptions int
+	// Requests is the number of simulated requests.
+	Requests int
+	// Makespan is the time from first arrival to last completion.
+	Makespan time.Duration
+	// PerModel breaks ANTT and violation rate down by model name; short
+	// and long tenants often fare very differently under the same
+	// scheduler.
+	PerModel map[string]ModelMetrics
+	// Timeline is the execution schedule (only with
+	// Options.RecordTimeline).
+	Timeline *Timeline
+	// Tasks holds per-request outcomes (only with Options.RecordTasks).
+	Tasks []TaskOutcome
+}
+
+// ModelMetrics aggregates one model's requests within a run.
+type ModelMetrics struct {
+	Requests      int
+	ANTT          float64
+	ViolationRate float64
+}
+
+// TaskOutcome is one request's final accounting.
+type TaskOutcome struct {
+	ID         int
+	Model      string
+	Arrival    time.Duration
+	Completion time.Duration
+	Isolated   time.Duration
+	// NTT is the normalized turnaround (T_multi / T_isol).
+	NTT float64
+	// Violated reports a missed deadline.
+	Violated bool
+}
+
+// Run simulates the request stream under the scheduler and returns the
+// aggregated metrics. Requests are processed on a single time-shared
+// accelerator; preemption happens only at layer boundaries.
+func Run(s Scheduler, reqs []*workload.Request, opts Options) (Result, error) {
+	if len(reqs) == 0 {
+		return Result{}, fmt.Errorf("sched: empty request stream")
+	}
+	pending := make([]*Task, len(reqs))
+	sorted := append([]*workload.Request(nil), reqs...)
+	workload.SortByArrival(sorted)
+	for i, r := range sorted {
+		pending[i] = newTask(r)
+	}
+
+	var (
+		now        time.Duration
+		ready      []*Task
+		done       []*Task
+		nextIdx    int
+		last       *Task
+		preempts   int
+		turnRatios []float64
+		latencies  []float64
+		timeline   *Timeline
+	)
+	if opts.RecordTimeline {
+		timeline = &Timeline{}
+	}
+
+	deliver := func() {
+		for nextIdx < len(pending) && pending[nextIdx].Arrival <= now {
+			t := pending[nextIdx]
+			ready = append(ready, t)
+			s.OnArrival(t, now)
+			nextIdx++
+		}
+	}
+
+	for len(done) < len(pending) {
+		deliver()
+		if len(ready) == 0 {
+			// Idle: jump to the next arrival.
+			now = pending[nextIdx].Arrival
+			deliver()
+		}
+
+		pick := s.PickNext(ready, now)
+		if pick == nil || !contains(ready, pick) {
+			return Result{}, fmt.Errorf("sched: %s picked a task outside the ready queue", s.Name())
+		}
+		if last != nil && last != pick && !last.Done {
+			preempts++
+			now += opts.PreemptionOverhead
+		}
+		last = pick
+
+		layer := pick.NextLayer
+		dur := pick.nextLayerLatency()
+		if timeline != nil {
+			timeline.record(pick.ID, now, now+dur)
+		}
+		now += dur
+		pick.ExecTime += dur
+		pick.LastRun = now
+		pick.NextLayer++
+		s.OnLayerComplete(pick, layer, pick.monitoredSparsity(layer), now)
+
+		if pick.NextLayer == pick.NumLayers() {
+			pick.Done = true
+			pick.Completion = now
+			ready = remove(ready, pick)
+			done = append(done, pick)
+			turn := now - pick.Arrival
+			turnRatios = append(turnRatios, float64(turn)/float64(pick.TrueIsolated()))
+			latencies = append(latencies, float64(turn))
+		}
+	}
+
+	res := Result{
+		Scheduler:   s.Name(),
+		ANTT:        stats.Mean(turnRatios),
+		Preemptions: preempts,
+		Requests:    len(done),
+	}
+	violations := 0
+	var lastDone time.Duration
+	for _, t := range done {
+		if t.Violated(t.Completion) {
+			violations++
+		}
+		if t.Completion > lastDone {
+			lastDone = t.Completion
+		}
+	}
+	res.ViolationRate = float64(violations) / float64(len(done))
+	res.MeanLatency = time.Duration(stats.Mean(latencies))
+	res.P99Latency = time.Duration(stats.Percentile(latencies, 99))
+	res.Makespan = lastDone - pending[0].Arrival
+	if res.Makespan > 0 {
+		res.Throughput = float64(len(done)) / res.Makespan.Seconds()
+	}
+	res.PerModel = map[string]ModelMetrics{}
+	for _, t := range done {
+		m := res.PerModel[t.Key.Model]
+		m.Requests++
+		m.ANTT += float64(t.Completion-t.Arrival) / float64(t.TrueIsolated())
+		if t.Violated(t.Completion) {
+			m.ViolationRate++
+		}
+		res.PerModel[t.Key.Model] = m
+	}
+	for name, m := range res.PerModel {
+		m.ANTT /= float64(m.Requests)
+		m.ViolationRate /= float64(m.Requests)
+		res.PerModel[name] = m
+	}
+	res.Timeline = timeline
+	if opts.RecordTasks {
+		res.Tasks = make([]TaskOutcome, 0, len(done))
+		for _, t := range done {
+			res.Tasks = append(res.Tasks, TaskOutcome{
+				ID:         t.ID,
+				Model:      t.Key.Model,
+				Arrival:    t.Arrival,
+				Completion: t.Completion,
+				Isolated:   t.TrueIsolated(),
+				NTT:        float64(t.Completion-t.Arrival) / float64(t.TrueIsolated()),
+				Violated:   t.Violated(t.Completion),
+			})
+		}
+		sort.Slice(res.Tasks, func(i, j int) bool { return res.Tasks[i].ID < res.Tasks[j].ID })
+	}
+	return res, nil
+}
+
+func contains(ts []*Task, t *Task) bool {
+	for _, x := range ts {
+		if x == t {
+			return true
+		}
+	}
+	return false
+}
+
+func remove(ts []*Task, t *Task) []*Task {
+	for i, x := range ts {
+		if x == t {
+			return append(ts[:i], ts[i+1:]...)
+		}
+	}
+	return ts
+}
+
+// AverageResults averages the metric fields of per-seed results of the
+// same scheduler, the paper's five-seed reporting protocol (§6.1).
+func AverageResults(rs []Result) Result {
+	if len(rs) == 0 {
+		return Result{}
+	}
+	avg := Result{Scheduler: rs[0].Scheduler, PerModel: map[string]ModelMetrics{}}
+	var meanLat, p99Lat, makespan float64
+	for _, r := range rs {
+		avg.ANTT += r.ANTT
+		avg.ViolationRate += r.ViolationRate
+		avg.Throughput += r.Throughput
+		avg.Preemptions += r.Preemptions
+		avg.Requests += r.Requests
+		meanLat += float64(r.MeanLatency)
+		p99Lat += float64(r.P99Latency)
+		makespan += float64(r.Makespan)
+		for name, m := range r.PerModel {
+			agg := avg.PerModel[name]
+			agg.Requests += m.Requests
+			// Weight per-seed means by their request counts.
+			agg.ANTT += m.ANTT * float64(m.Requests)
+			agg.ViolationRate += m.ViolationRate * float64(m.Requests)
+			avg.PerModel[name] = agg
+		}
+	}
+	for name, m := range avg.PerModel {
+		if m.Requests > 0 {
+			m.ANTT /= float64(m.Requests)
+			m.ViolationRate /= float64(m.Requests)
+		}
+		avg.PerModel[name] = m
+	}
+	n := float64(len(rs))
+	avg.ANTT /= n
+	avg.ViolationRate /= n
+	avg.Throughput /= n
+	avg.Preemptions = int(float64(avg.Preemptions) / n)
+	avg.Requests = int(float64(avg.Requests) / n)
+	avg.MeanLatency = time.Duration(meanLat / n)
+	avg.P99Latency = time.Duration(p99Lat / n)
+	avg.Makespan = time.Duration(makespan / n)
+	return avg
+}
+
+// SeedSpread summarizes per-seed variability of the two headline metrics:
+// the population standard deviation of ANTT and violation rate across
+// runs. Reported alongside five-seed averages to show result stability.
+func SeedSpread(rs []Result) (anttSD, violSD float64) {
+	if len(rs) < 2 {
+		return 0, 0
+	}
+	antts := make([]float64, len(rs))
+	viols := make([]float64, len(rs))
+	for i, r := range rs {
+		antts[i] = r.ANTT
+		viols[i] = r.ViolationRate
+	}
+	return stats.StdDev(antts), stats.StdDev(viols)
+}

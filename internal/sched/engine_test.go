@@ -1,0 +1,274 @@
+package sched
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"sparsedysta/internal/sparsity"
+	"sparsedysta/internal/trace"
+	"sparsedysta/internal/workload"
+)
+
+// synthReq builds a request with uniform per-layer latency.
+func synthReq(id int, model string, arrival, layerLat time.Duration, layers int, sloMult float64) *workload.Request {
+	tr := trace.SampleTrace{
+		LayerLatency:  make([]time.Duration, layers),
+		LayerSparsity: make([]float64, layers),
+	}
+	for i := range tr.LayerLatency {
+		tr.LayerLatency[i] = layerLat
+		tr.LayerSparsity[i] = 0.5
+	}
+	return &workload.Request{
+		ID:      id,
+		Key:     trace.Key{Model: model, Pattern: sparsity.Dense},
+		Trace:   tr,
+		Arrival: arrival,
+		SLO:     time.Duration(float64(layerLat) * float64(layers) * sloMult),
+	}
+}
+
+// synthEstimator builds a profiling LUT whose averages equal the synthetic
+// traces exactly.
+func synthEstimator(reqs ...*workload.Request) *Estimator {
+	store := trace.NewStore()
+	for _, r := range reqs {
+		store.Add(r.Key, []trace.SampleTrace{r.Trace})
+	}
+	set, err := trace.NewStatsSet(store)
+	if err != nil {
+		panic(err)
+	}
+	return NewEstimator(set)
+}
+
+func TestRunEmptyStream(t *testing.T) {
+	if _, err := Run(NewFCFS(), nil, Options{}); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+}
+
+// TestFCFSSequential verifies the engine's arithmetic on a hand-checked
+// two-task scenario: task B arrives while A runs and must wait for all of
+// A under FCFS.
+func TestFCFSSequential(t *testing.T) {
+	a := synthReq(0, "a", 0, 10*time.Millisecond, 4, 100) // isolated 40ms
+	b := synthReq(1, "b", 5*time.Millisecond, 10*time.Millisecond, 2, 100)
+	res, err := Run(NewFCFS(), []*workload.Request{a, b}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A: finishes at 40ms, turnaround 40ms, NTT 1.0.
+	// B: waits until 40ms, finishes at 60ms, turnaround 55ms, NTT 2.75.
+	wantANTT := (1.0 + 55.0/20.0) / 2
+	if math.Abs(res.ANTT-wantANTT) > 1e-9 {
+		t.Errorf("ANTT = %v, want %v", res.ANTT, wantANTT)
+	}
+	if res.ViolationRate != 0 {
+		t.Errorf("violation rate = %v", res.ViolationRate)
+	}
+	if res.Requests != 2 {
+		t.Errorf("requests = %d", res.Requests)
+	}
+	if res.Makespan != 60*time.Millisecond {
+		t.Errorf("makespan = %v", res.Makespan)
+	}
+	if res.Preemptions != 0 {
+		t.Errorf("FCFS made %d preemptions", res.Preemptions)
+	}
+}
+
+// TestSJFPreempts verifies layer-boundary preemption: a short job arriving
+// mid-execution of a long job runs to completion first under SJF.
+func TestSJFPreempts(t *testing.T) {
+	long := synthReq(0, "long", 0, 10*time.Millisecond, 10, 100) // 100ms isolated
+	short := synthReq(1, "short", 5*time.Millisecond, 1*time.Millisecond, 2, 100)
+	est := synthEstimator(long, short)
+	res, err := Run(NewSJF(est), []*workload.Request{long, short}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Short arrives at 5ms during long's first layer (completes 10ms),
+	// then runs its 2ms and finishes at 12ms: turnaround 7ms, NTT 3.5.
+	// Long finishes at 102ms: NTT 1.02.
+	wantANTT := (1.02 + 3.5) / 2
+	if math.Abs(res.ANTT-wantANTT) > 1e-9 {
+		t.Errorf("ANTT = %v, want %v", res.ANTT, wantANTT)
+	}
+	if res.Preemptions == 0 {
+		t.Error("SJF never preempted")
+	}
+}
+
+func TestViolationAccounting(t *testing.T) {
+	// SLO multiplier 1.0: any queueing delay violates.
+	a := synthReq(0, "a", 0, 10*time.Millisecond, 2, 1)
+	b := synthReq(1, "b", 0, 10*time.Millisecond, 2, 1)
+	res, err := Run(NewFCFS(), []*workload.Request{a, b}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A meets exactly; B finishes at 40ms vs deadline 20ms.
+	if res.ViolationRate != 0.5 {
+		t.Errorf("violation rate = %v, want 0.5", res.ViolationRate)
+	}
+}
+
+func TestPreemptionOverhead(t *testing.T) {
+	long := synthReq(0, "long", 0, 10*time.Millisecond, 4, 100)
+	short := synthReq(1, "short", 5*time.Millisecond, time.Millisecond, 1, 100)
+	est := synthEstimator(long, short)
+	base, _ := Run(NewSJF(est), []*workload.Request{long, short}, Options{})
+	withOv, _ := Run(NewSJF(synthEstimator(long, short)), []*workload.Request{long, short},
+		Options{PreemptionOverhead: time.Millisecond})
+	if withOv.Makespan <= base.Makespan {
+		t.Errorf("preemption overhead did not extend makespan: %v vs %v",
+			withOv.Makespan, base.Makespan)
+	}
+}
+
+func TestIdleGapHandling(t *testing.T) {
+	a := synthReq(0, "a", 0, time.Millisecond, 1, 100)
+	b := synthReq(1, "b", time.Second, time.Millisecond, 1, 100)
+	res, err := Run(NewFCFS(), []*workload.Request{a, b}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ANTT != 1.0 {
+		t.Errorf("idle-gap ANTT = %v, want 1.0", res.ANTT)
+	}
+}
+
+// badScheduler returns a task outside the ready queue.
+type badScheduler struct{ *FCFS }
+
+func (badScheduler) Name() string { return "bad" }
+func (badScheduler) PickNext(ready []*Task, _ time.Duration) *Task {
+	return &Task{}
+}
+
+func TestEngineRejectsForeignPick(t *testing.T) {
+	a := synthReq(0, "a", 0, time.Millisecond, 1, 100)
+	if _, err := Run(badScheduler{}, []*workload.Request{a}, Options{}); err == nil {
+		t.Fatal("foreign pick accepted")
+	}
+}
+
+// TestWorkConservation: with zero preemption overhead, makespan of a
+// saturated system equals total service time, independent of scheduler.
+func TestWorkConservation(t *testing.T) {
+	var reqs []*workload.Request
+	var total time.Duration
+	for i := 0; i < 10; i++ {
+		r := synthReq(i, "m", 0, time.Millisecond, 5, 1000)
+		reqs = append(reqs, r)
+		total += r.Trace.Total()
+	}
+	est := synthEstimator(reqs[0])
+	for _, s := range []Scheduler{NewFCFS(), NewPlanaria(est), NewOracle(0.4)} {
+		res, err := Run(s, reqs, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Makespan != total {
+			t.Errorf("%s: makespan %v, want %v", s.Name(), res.Makespan, total)
+		}
+		if res.ANTT < 1 {
+			t.Errorf("%s: ANTT %v < 1", s.Name(), res.ANTT)
+		}
+	}
+}
+
+func TestTaskAccessors(t *testing.T) {
+	r := synthReq(3, "m", 10*time.Millisecond, 2*time.Millisecond, 4, 10)
+	task := newTask(r)
+	if task.NumLayers() != 4 {
+		t.Errorf("NumLayers = %d", task.NumLayers())
+	}
+	if task.TrueIsolated() != 8*time.Millisecond {
+		t.Errorf("TrueIsolated = %v", task.TrueIsolated())
+	}
+	if task.TrueRemaining() != 8*time.Millisecond {
+		t.Errorf("TrueRemaining = %v", task.TrueRemaining())
+	}
+	task.NextLayer = 2
+	if task.TrueRemaining() != 4*time.Millisecond {
+		t.Errorf("TrueRemaining after 2 layers = %v", task.TrueRemaining())
+	}
+	if task.Deadline() != 10*time.Millisecond+80*time.Millisecond {
+		t.Errorf("Deadline = %v", task.Deadline())
+	}
+	// Waited 5ms of the 7ms since arrival (2ms executing).
+	task.ExecTime = 2 * time.Millisecond
+	if got := task.WaitTime(17 * time.Millisecond); got != 5*time.Millisecond {
+		t.Errorf("WaitTime = %v", got)
+	}
+	if got := task.WaitTime(0); got != 0 {
+		t.Errorf("WaitTime before arrival = %v", got)
+	}
+}
+
+func TestAverageResults(t *testing.T) {
+	rs := []Result{
+		{Scheduler: "x", ANTT: 1, ViolationRate: 0.2, Throughput: 10,
+			MeanLatency: 10 * time.Millisecond, Requests: 100},
+		{Scheduler: "x", ANTT: 3, ViolationRate: 0.4, Throughput: 20,
+			MeanLatency: 30 * time.Millisecond, Requests: 100},
+	}
+	avg := AverageResults(rs)
+	if avg.ANTT != 2 || math.Abs(avg.ViolationRate-0.3) > 1e-12 || avg.Throughput != 15 {
+		t.Errorf("averages wrong: %+v", avg)
+	}
+	if avg.MeanLatency != 20*time.Millisecond {
+		t.Errorf("MeanLatency = %v", avg.MeanLatency)
+	}
+	if avg.Requests != 100 {
+		t.Errorf("Requests = %d", avg.Requests)
+	}
+	if AverageResults(nil).Scheduler != "" {
+		t.Error("empty average not zero")
+	}
+}
+
+func TestPerModelBreakdown(t *testing.T) {
+	a := synthReq(0, "alpha", 0, 10*time.Millisecond, 2, 1) // meets exactly
+	b := synthReq(1, "beta", 0, 10*time.Millisecond, 2, 1)  // waits, violates
+	res, err := Run(NewFCFS(), []*workload.Request{a, b}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerModel) != 2 {
+		t.Fatalf("PerModel has %d entries", len(res.PerModel))
+	}
+	alpha, beta := res.PerModel["alpha"], res.PerModel["beta"]
+	if alpha.Requests != 1 || beta.Requests != 1 {
+		t.Errorf("per-model counts wrong: %+v %+v", alpha, beta)
+	}
+	if alpha.ANTT != 1.0 {
+		t.Errorf("alpha ANTT = %v, want 1", alpha.ANTT)
+	}
+	if beta.ANTT != 2.0 {
+		t.Errorf("beta ANTT = %v, want 2 (waited its own length)", beta.ANTT)
+	}
+	if alpha.ViolationRate != 0 || beta.ViolationRate != 1 {
+		t.Errorf("per-model violations wrong: %+v %+v", alpha, beta)
+	}
+}
+
+func TestSeedSpread(t *testing.T) {
+	rs := []Result{
+		{ANTT: 1, ViolationRate: 0.1},
+		{ANTT: 3, ViolationRate: 0.3},
+	}
+	anttSD, violSD := SeedSpread(rs)
+	if anttSD != 1 {
+		t.Errorf("ANTT SD = %v, want 1", anttSD)
+	}
+	if math.Abs(violSD-0.1) > 1e-12 {
+		t.Errorf("violation SD = %v, want 0.1", violSD)
+	}
+	if a, v := SeedSpread(rs[:1]); a != 0 || v != 0 {
+		t.Error("single-seed spread not zero")
+	}
+}

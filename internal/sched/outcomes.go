@@ -1,0 +1,37 @@
+package sched
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteOutcomesCSV exports per-request outcomes (from a Run with
+// Options.RecordTasks) as CSV for external analysis:
+//
+//	id, model, arrival_ns, completion_ns, isolated_ns, ntt, violated
+func WriteOutcomesCSV(w io.Writer, outcomes []TaskOutcome) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"id", "model", "arrival_ns", "completion_ns", "isolated_ns", "ntt", "violated",
+	}); err != nil {
+		return fmt.Errorf("sched: writing outcome header: %w", err)
+	}
+	for _, o := range outcomes {
+		rec := []string{
+			strconv.Itoa(o.ID),
+			o.Model,
+			strconv.FormatInt(int64(o.Arrival), 10),
+			strconv.FormatInt(int64(o.Completion), 10),
+			strconv.FormatInt(int64(o.Isolated), 10),
+			strconv.FormatFloat(o.NTT, 'g', -1, 64),
+			strconv.FormatBool(o.Violated),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("sched: writing outcome %d: %w", o.ID, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

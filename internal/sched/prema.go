@@ -1,0 +1,123 @@
+package sched
+
+import "time"
+
+// PREMA implements the predictive multi-task scheduling algorithm of Choi
+// & Rhu (HPCA 2020), adapted per paper §6.1: the candidate condition is
+// Token_i >= Threshold (the paper's modification, so scheduling works from
+// the very first decision), and execution-time estimates come from the
+// offline profiling LUT, sparsity-blind as in the original.
+//
+// PREMA's mechanism: each task carries a static priority; while waiting it
+// accumulates tokens proportional to priority and waiting time, and spends
+// them when dispatched. Tasks whose tokens reach the threshold form the
+// candidate set (all tasks, if none qualify); among candidates the task
+// with the shortest estimated remaining time runs — so PREMA behaves like
+// SJF with token-based starvation protection, matching its near-SJF ANTT
+// and violation numbers in the paper's Table 5.
+type PREMA struct {
+	est *Estimator
+	// Threshold is the token level that makes a task a candidate.
+	Threshold float64
+
+	tokens   map[int]float64
+	lastSeen map[int]time.Duration
+	prio     map[int]float64
+	lastPick *Task
+}
+
+// NewPREMA returns the PREMA baseline with the default threshold.
+func NewPREMA(est *Estimator) *PREMA {
+	return &PREMA{
+		est:       est,
+		Threshold: 64,
+		tokens:    map[int]float64{},
+		lastSeen:  map[int]time.Duration{},
+		prio:      map[int]float64{},
+	}
+}
+
+// Name implements Scheduler.
+func (*PREMA) Name() string { return "PREMA" }
+
+// OnArrival implements Scheduler: assign the task's static priority.
+// PREMA assigns priorities by task criticality; with uniform SLO
+// multipliers, criticality is driven by job length — short jobs receive
+// high priority so they are not starved by long-running tenants.
+func (p *PREMA) OnArrival(t *Task, now time.Duration) {
+	iso := p.est.Isolated(t)
+	p.prio[t.ID] = priorityForLatency(iso)
+	p.tokens[t.ID] = 0
+	p.lastSeen[t.ID] = now
+}
+
+// priorityForLatency buckets estimated isolated latency into PREMA's
+// discrete priority levels (shorter job -> higher priority).
+func priorityForLatency(iso time.Duration) float64 {
+	switch {
+	case iso < 20*time.Millisecond:
+		return 8
+	case iso < 60*time.Millisecond:
+		return 4
+	case iso < 200*time.Millisecond:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// OnLayerComplete implements Scheduler: the task that just executed was
+// not waiting, so its accrual clock resets; a completed task's bookkeeping
+// is dropped.
+func (p *PREMA) OnLayerComplete(t *Task, _ int, _ float64, now time.Duration) {
+	if t.Done {
+		delete(p.tokens, t.ID)
+		delete(p.lastSeen, t.ID)
+		delete(p.prio, t.ID)
+		return
+	}
+	p.lastSeen[t.ID] = now
+}
+
+// PickNext implements Scheduler. The running task stays a candidate (it
+// occupies the NPU until preempted); tokens are spent when a *different*
+// task is dispatched, matching PREMA's dispatch-slot semantics rather than
+// per-layer churn.
+func (p *PREMA) PickNext(ready []*Task, now time.Duration) *Task {
+	// Accrue tokens for waiting time since the last decision; the running
+	// task accrues nothing while executing (it was not waiting).
+	for _, t := range ready {
+		wait := ms(now - p.lastSeen[t.ID])
+		if wait > 0 {
+			p.tokens[t.ID] += p.prio[t.ID] * wait
+		}
+		p.lastSeen[t.ID] = now
+	}
+
+	candidates := make([]*Task, 0, len(ready))
+	for _, t := range ready {
+		if p.tokens[t.ID] >= p.Threshold || t == p.lastPick {
+			candidates = append(candidates, t)
+		}
+	}
+	if len(candidates) == 0 {
+		candidates = ready
+	}
+
+	best := candidates[0]
+	bestRem := p.est.Remaining(best)
+	for _, t := range candidates[1:] {
+		rem := p.est.Remaining(t)
+		if rem < bestRem || (rem == bestRem && t.ID < best.ID) {
+			best, bestRem = t, rem
+		}
+	}
+	if best != p.lastPick {
+		// A fresh dispatch spends the task's accumulated tokens.
+		p.tokens[best.ID] = 0
+		p.lastPick = best
+	}
+	return best
+}
+
+var _ Scheduler = (*PREMA)(nil)

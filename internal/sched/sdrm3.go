@@ -1,0 +1,73 @@
+package sched
+
+import "time"
+
+// SDRM3 implements the MapScore scheduler of Kim et al. (ASPLOS 2024),
+// adapted per paper §6.1: MapScore is the weighted sum of Urgency and
+// Fairness with the hardware-preference term Pref pinned to 1 (a single
+// accelerator) and Alpha tuned following SDRM3's own methodology.
+//
+// Urgency grows as a task's deadline approaches relative to its estimated
+// remaining work; Fairness grows with the service deficit a task has
+// accumulated relative to uniform progress. The highest MapScore runs.
+// Because Fairness keeps rotating service toward the most-starved task,
+// the schedule approaches layer-granularity processor sharing under load —
+// which inflates both ANTT and violations exactly as the paper observes
+// (Table 5: SDRM3 trails even FCFS on these single-accelerator workloads).
+type SDRM3 struct {
+	est *Estimator
+	// Alpha weights Urgency against Fairness.
+	Alpha float64
+}
+
+// NewSDRM3 returns the SDRM3 baseline with the tuned default alpha.
+func NewSDRM3(est *Estimator) *SDRM3 { return &SDRM3{est: est, Alpha: 0.5} }
+
+// Name implements Scheduler.
+func (*SDRM3) Name() string { return "SDRM3" }
+
+// OnArrival implements Scheduler.
+func (*SDRM3) OnArrival(*Task, time.Duration) {}
+
+// OnLayerComplete implements Scheduler.
+func (*SDRM3) OnLayerComplete(*Task, int, float64, time.Duration) {}
+
+// PickNext implements Scheduler: maximum MapScore.
+func (s *SDRM3) PickNext(ready []*Task, now time.Duration) *Task {
+	best := ready[0]
+	bestScore := s.mapScore(best, now)
+	for _, t := range ready[1:] {
+		if sc := s.mapScore(t, now); sc > bestScore || (sc == bestScore && t.ID < best.ID) {
+			best, bestScore = t, sc
+		}
+	}
+	return best
+}
+
+// mapScore = Alpha*Urgency + Fairness (Pref = 1 folded in).
+func (s *SDRM3) mapScore(t *Task, now time.Duration) float64 {
+	remain := ms(s.est.Remaining(t))
+	slack := ms(t.Deadline() - now)
+	urgency := 0.0
+	if slack > 0 {
+		urgency = remain / slack
+	} else {
+		// Past-deadline tasks are maximally urgent.
+		urgency = 1
+	}
+	if urgency > 1 {
+		urgency = 1
+	}
+
+	iso := ms(s.est.Isolated(t))
+	fairness := 0.0
+	if iso > 0 {
+		// Service deficit: how far the task lags uniform progress.
+		expected := ms(now - t.Arrival)
+		received := ms(t.ExecTime)
+		fairness = (expected - received) / iso
+	}
+	return s.Alpha*urgency + fairness
+}
+
+var _ Scheduler = (*SDRM3)(nil)

@@ -1,0 +1,120 @@
+// Package sched implements Phase 2 of the paper's methodology: a
+// discrete-event, layer-granularity preemptive scheduling engine for a
+// single time-shared accelerator (§4.2.2: "execution is performed in a
+// per-layer or per-layer-block manner ... whenever the execution of one
+// layer completes, the scheduler is invoked"), the scheduling metrics
+// (ANTT, SLO violation rate, STP — §6.1), and the status-quo baseline
+// schedulers the paper compares against (§6.1).
+package sched
+
+import (
+	"time"
+
+	"sparsedysta/internal/trace"
+	"sparsedysta/internal/workload"
+)
+
+// Task is the engine-side state of one request. Schedulers read its public
+// identity and progress fields; the ground-truth trace is reserved to the
+// engine and the Oracle scheduler (TrueRemaining documents the exception).
+type Task struct {
+	ID  int
+	Key trace.Key
+	// Arrival is the absolute arrival time.
+	Arrival time.Duration
+	// SLO is the relative latency objective; Deadline = Arrival + SLO.
+	SLO time.Duration
+	// NextLayer is the index of the next layer to execute.
+	NextLayer int
+	// ExecTime is the accelerator time the task has received so far.
+	ExecTime time.Duration
+	// LastRun is the time the task last finished executing a layer (its
+	// arrival time before it ever ran). The interval now-LastRun is the
+	// T_wait of the paper's preemption penalty (Alg. 2 line 10): a
+	// recently executed request has a near-zero penalty, which keeps it
+	// running.
+	LastRun time.Duration
+	// Completion is the finish time (valid once Done).
+	Completion time.Duration
+	// Done reports whether every layer has executed.
+	Done bool
+
+	tr *trace.SampleTrace
+}
+
+// newTask wraps a workload request.
+func newTask(r *workload.Request) *Task {
+	tr := r.Trace
+	return &Task{ID: r.ID, Key: r.Key, Arrival: r.Arrival, SLO: r.SLO,
+		LastRun: r.Arrival, tr: &tr}
+}
+
+// NumLayers returns the task's layer count.
+func (t *Task) NumLayers() int { return t.tr.NumLayers() }
+
+// Deadline returns the absolute completion deadline.
+func (t *Task) Deadline() time.Duration { return t.Arrival + t.SLO }
+
+// WaitTime returns the cumulative time the task has spent in the system
+// not executing.
+func (t *Task) WaitTime(now time.Duration) time.Duration {
+	w := now - t.Arrival - t.ExecTime
+	if w < 0 {
+		return 0
+	}
+	return w
+}
+
+// SinceLastRun returns the time since the task last executed a layer (or
+// since arrival, if it never ran): the T_wait of the paper's preemption
+// penalty.
+func (t *Task) SinceLastRun(now time.Duration) time.Duration {
+	w := now - t.LastRun
+	if w < 0 {
+		return 0
+	}
+	return w
+}
+
+// Violated reports whether the task finished past its deadline (or, if
+// still running at `now`, has already passed it).
+func (t *Task) Violated(now time.Duration) bool {
+	if t.Done {
+		return t.Completion > t.Deadline()
+	}
+	return now > t.Deadline()
+}
+
+// TrueIsolated returns the ground-truth isolated latency (T_isol). The
+// engine uses it for metrics; among schedulers only Oracle may call it.
+func (t *Task) TrueIsolated() time.Duration { return t.tr.Total() }
+
+// TrueRemaining returns the ground-truth remaining isolated latency from
+// the task's next layer. Reserved to the Oracle scheduler, which the paper
+// defines as having perfect latency knowledge (§6.4).
+func (t *Task) TrueRemaining() time.Duration { return t.tr.Remaining(t.NextLayer) }
+
+// nextLayerLatency is the engine's accessor for ground-truth execution.
+func (t *Task) nextLayerLatency() time.Duration { return t.tr.LayerLatency[t.NextLayer] }
+
+// monitoredSparsity returns the hardware monitor's reading for a completed
+// layer: the dynamic sparsity the zero-counting circuit observes (§5.2.1).
+func (t *Task) monitoredSparsity(layer int) float64 { return t.tr.LayerSparsity[layer] }
+
+// Scheduler decides which ready task runs next. Implementations are
+// invoked by the engine at every scheduling point: task arrival delivery
+// and layer completion.
+type Scheduler interface {
+	// Name identifies the scheduler in results.
+	Name() string
+	// OnArrival is called once when a task enters the ready queue.
+	OnArrival(t *Task, now time.Duration)
+	// OnLayerComplete is called after each layer of the running task
+	// finishes, with the monitored dynamic sparsity of that layer — the
+	// runtime signal Dysta's hardware monitor provides (§5.2.1).
+	OnLayerComplete(t *Task, layer int, monitored float64, now time.Duration)
+	// PickNext selects the next task to run from the non-empty ready
+	// slice. Returning a task not in ready is a programming error the
+	// engine reports.
+	PickNext(ready []*Task, now time.Duration) *Task
+}

@@ -1,0 +1,118 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Span is one contiguous execution interval of a task on the accelerator.
+type Span struct {
+	TaskID     int
+	Start, End time.Duration
+	// Layers is the number of consecutive layers executed in the span.
+	Layers int
+}
+
+// Timeline records who ran when during a simulation — the raw material of
+// schedule visualizations like the paper's Fig. 5 timelines. Enable it
+// via Options.RecordTimeline.
+type Timeline struct {
+	Spans []Span
+}
+
+// record extends the last span or opens a new one.
+func (tl *Timeline) record(taskID int, start, end time.Duration) {
+	if n := len(tl.Spans); n > 0 {
+		last := &tl.Spans[n-1]
+		if last.TaskID == taskID && last.End == start {
+			last.End = end
+			last.Layers++
+			return
+		}
+	}
+	tl.Spans = append(tl.Spans, Span{TaskID: taskID, Start: start, End: end, Layers: 1})
+}
+
+// TaskIDs returns the distinct task ids in first-appearance order.
+func (tl *Timeline) TaskIDs() []int {
+	seen := map[int]bool{}
+	var ids []int
+	for _, s := range tl.Spans {
+		if !seen[s.TaskID] {
+			seen[s.TaskID] = true
+			ids = append(ids, s.TaskID)
+		}
+	}
+	return ids
+}
+
+// Switches counts the context switches (span boundaries between different
+// tasks).
+func (tl *Timeline) Switches() int {
+	n := 0
+	for i := 1; i < len(tl.Spans); i++ {
+		if tl.Spans[i].TaskID != tl.Spans[i-1].TaskID {
+			n++
+		}
+	}
+	return n
+}
+
+// Busy returns the total accelerator-busy time.
+func (tl *Timeline) Busy() time.Duration {
+	var sum time.Duration
+	for _, s := range tl.Spans {
+		sum += s.End - s.Start
+	}
+	return sum
+}
+
+// Gantt renders the timeline as an ASCII chart, one row per task, `width`
+// characters across the full horizon. Idle time shows as '.', execution
+// as '#'.
+func (tl *Timeline) Gantt(width int) string {
+	if len(tl.Spans) == 0 {
+		return "(empty timeline)\n"
+	}
+	if width <= 0 {
+		width = 60
+	}
+	start := tl.Spans[0].Start
+	end := tl.Spans[len(tl.Spans)-1].End
+	for _, s := range tl.Spans {
+		if s.Start < start {
+			start = s.Start
+		}
+		if s.End > end {
+			end = s.End
+		}
+	}
+	horizon := end - start
+	if horizon <= 0 {
+		return "(degenerate timeline)\n"
+	}
+	ids := tl.TaskIDs()
+	sort.Ints(ids)
+	rows := map[int][]byte{}
+	for _, id := range ids {
+		rows[id] = []byte(strings.Repeat(".", width))
+	}
+	for _, s := range tl.Spans {
+		lo := int(float64(s.Start-start) / float64(horizon) * float64(width))
+		hi := int(float64(s.End-start) / float64(horizon) * float64(width))
+		if hi == lo {
+			hi = lo + 1
+		}
+		for i := lo; i < hi && i < width; i++ {
+			rows[s.TaskID][i] = '#'
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "t = [%v, %v]\n", start, end)
+	for _, id := range ids {
+		fmt.Fprintf(&b, "task %3d |%s|\n", id, rows[id])
+	}
+	return b.String()
+}

@@ -1,0 +1,121 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"sparsedysta/internal/workload"
+)
+
+func TestTimelineRecordMerging(t *testing.T) {
+	tl := &Timeline{}
+	tl.record(1, 0, 10)
+	tl.record(1, 10, 20) // contiguous same task: merges
+	tl.record(2, 20, 30)
+	tl.record(1, 30, 40)
+	if len(tl.Spans) != 3 {
+		t.Fatalf("spans = %d, want 3 (merged)", len(tl.Spans))
+	}
+	if tl.Spans[0].End != 20 || tl.Spans[0].Layers != 2 {
+		t.Errorf("merged span wrong: %+v", tl.Spans[0])
+	}
+	if tl.Switches() != 2 {
+		t.Errorf("switches = %d, want 2", tl.Switches())
+	}
+	if tl.Busy() != 40 {
+		t.Errorf("busy = %v, want 40", tl.Busy())
+	}
+	ids := tl.TaskIDs()
+	if len(ids) != 2 || ids[0] != 1 || ids[1] != 2 {
+		t.Errorf("task ids = %v", ids)
+	}
+}
+
+func TestGanttRender(t *testing.T) {
+	tl := &Timeline{}
+	tl.record(0, 0, 50*time.Millisecond)
+	tl.record(1, 50*time.Millisecond, 100*time.Millisecond)
+	out := tl.Gantt(20)
+	if !strings.Contains(out, "task   0") || !strings.Contains(out, "task   1") {
+		t.Errorf("gantt missing rows:\n%s", out)
+	}
+	if !strings.Contains(out, "#") || !strings.Contains(out, ".") {
+		t.Errorf("gantt missing marks:\n%s", out)
+	}
+	// Empty and degenerate timelines render without panicking.
+	if out := (&Timeline{}).Gantt(20); !strings.Contains(out, "empty") {
+		t.Errorf("empty gantt: %q", out)
+	}
+}
+
+func TestEngineTimelineIntegration(t *testing.T) {
+	long := synthReq(0, "long", 0, 10*time.Millisecond, 4, 100)
+	short := synthReq(1, "short", 5*time.Millisecond, time.Millisecond, 2, 100)
+	est := synthEstimator(long, short)
+	res, err := Run(NewSJF(est), []*workload.Request{long, short},
+		Options{RecordTimeline: true, RecordTasks: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Timeline == nil {
+		t.Fatal("timeline not recorded")
+	}
+	if res.Timeline.Busy() != 42*time.Millisecond {
+		t.Errorf("busy = %v, want 42ms", res.Timeline.Busy())
+	}
+	if res.Timeline.Switches() != res.Preemptions+1 {
+		// Every preemption is a switch; the final return to the long
+		// task adds one more.
+		t.Errorf("switches = %d, preemptions = %d", res.Timeline.Switches(), res.Preemptions)
+	}
+	if len(res.Tasks) != 2 {
+		t.Fatalf("task outcomes = %d", len(res.Tasks))
+	}
+	if res.Tasks[0].ID != 0 || res.Tasks[1].ID != 1 {
+		t.Errorf("outcomes not sorted by id: %+v", res.Tasks)
+	}
+	// Short task: arrives 5ms, runs 10..12ms -> NTT = 7/2 = 3.5.
+	if got := res.Tasks[1].NTT; got != 3.5 {
+		t.Errorf("short NTT = %v, want 3.5", got)
+	}
+	if res.Tasks[0].Violated || res.Tasks[1].Violated {
+		t.Error("loose SLOs should not violate")
+	}
+}
+
+func TestTimelineOffByDefault(t *testing.T) {
+	a := synthReq(0, "a", 0, time.Millisecond, 1, 100)
+	res, err := Run(NewFCFS(), []*workload.Request{a}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Timeline != nil || res.Tasks != nil {
+		t.Error("recording enabled without opt-in")
+	}
+}
+
+func TestWriteOutcomesCSV(t *testing.T) {
+	long := synthReq(0, "long", 0, 10*time.Millisecond, 4, 100)
+	short := synthReq(1, "short", 5*time.Millisecond, time.Millisecond, 2, 100)
+	est := synthEstimator(long, short)
+	res, err := Run(NewSJF(est), []*workload.Request{long, short}, Options{RecordTasks: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := WriteOutcomesCSV(&buf, res.Tasks); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv has %d lines, want header + 2 rows:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "id,model,arrival_ns") {
+		t.Errorf("header wrong: %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "short") || !strings.Contains(lines[2], "3.5") {
+		t.Errorf("short-task row wrong: %q", lines[2])
+	}
+}

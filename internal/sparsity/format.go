@@ -1,0 +1,115 @@
+package sparsity
+
+import "fmt"
+
+// This file implements the compressed sparse-storage schemes the
+// benchmark's accelerators use (paper §2.2: "efficient sparse-storage
+// schemes"): run-length coding of zero gaps (Eyeriss-style RLC) and
+// bitmap encoding (Sanger-style). The compression ratios they achieve are
+// what the Eyeriss-V2 memory model charges for weight traffic (the
+// Storage field of Efficiency).
+
+// RLCConfig parameterizes run-length coding: each kept value is stored
+// together with the count of zeros preceding it, in RunBits bits; runs
+// longer than the field allows insert explicit zero values.
+type RLCConfig struct {
+	// ValueBits is the datatype width of one kept value.
+	ValueBits int
+	// RunBits is the width of the zero-run-length field.
+	RunBits int
+}
+
+// DefaultRLC returns the Eyeriss configuration: 8-bit values with 4-bit
+// run lengths.
+func DefaultRLC() RLCConfig { return RLCConfig{ValueBits: 8, RunBits: 4} }
+
+// RLCEncode run-length encodes the non-zero structure of a mask vector
+// (true = non-zero) and returns the encoded size in bits. Values
+// themselves are not stored here — only the structure matters for sizing.
+func RLCEncode(mask []bool, cfg RLCConfig) (bits int, err error) {
+	if cfg.ValueBits <= 0 || cfg.RunBits <= 0 {
+		return 0, fmt.Errorf("sparsity: invalid RLC config %+v", cfg)
+	}
+	maxRun := 1<<cfg.RunBits - 1
+	run := 0
+	sym := cfg.ValueBits + cfg.RunBits
+	for _, nz := range mask {
+		if !nz {
+			run++
+			if run == maxRun+1 {
+				// Overflowed run field: emit an explicit zero symbol
+				// carrying the maximum run.
+				bits += sym
+				run = 0
+			}
+			continue
+		}
+		bits += sym
+		run = 0
+	}
+	if run > 0 {
+		// Trailing zeros need one final symbol.
+		bits += sym
+	}
+	return bits, nil
+}
+
+// BitmapEncode sizes the bitmap scheme: one presence bit per position
+// plus the packed non-zero values.
+func BitmapEncode(mask []bool, valueBits int) (bits int, err error) {
+	if valueBits <= 0 {
+		return 0, fmt.Errorf("sparsity: invalid value width %d", valueBits)
+	}
+	bits = len(mask)
+	for _, nz := range mask {
+		if nz {
+			bits += valueBits
+		}
+	}
+	return bits, nil
+}
+
+// DenseBits sizes the uncompressed layout.
+func DenseBits(n, valueBits int) int { return n * valueBits }
+
+// CompressionRatio returns dense size over encoded size (>1 means the
+// encoding saves space).
+func CompressionRatio(denseBits, encodedBits int) float64 {
+	if encodedBits == 0 {
+		return 0
+	}
+	return float64(denseBits) / float64(encodedBits)
+}
+
+// FormatChoice reports which encoding a given sparsity structure should
+// use and the resulting bits — accelerators pick per-layer (paper §2.2's
+// "efficient sparse-storage schemes" are format libraries, not one
+// format).
+type FormatChoice struct {
+	Name string
+	Bits int
+}
+
+// BestFormat sizes dense, bitmap and RLC layouts for the mask and returns
+// the smallest.
+func BestFormat(mask []bool, valueBits int) (FormatChoice, error) {
+	dense := DenseBits(len(mask), valueBits)
+	best := FormatChoice{Name: "dense", Bits: dense}
+
+	bm, err := BitmapEncode(mask, valueBits)
+	if err != nil {
+		return FormatChoice{}, err
+	}
+	if bm < best.Bits {
+		best = FormatChoice{Name: "bitmap", Bits: bm}
+	}
+
+	rlc, err := RLCEncode(mask, RLCConfig{ValueBits: valueBits, RunBits: 4})
+	if err != nil {
+		return FormatChoice{}, err
+	}
+	if rlc < best.Bits {
+		best = FormatChoice{Name: "rlc", Bits: rlc}
+	}
+	return best, nil
+}

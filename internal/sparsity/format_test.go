@@ -1,0 +1,123 @@
+package sparsity
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sparsedysta/internal/rng"
+)
+
+func randomMask(r *rng.Source, n int, density float64) []bool {
+	m := make([]bool, n)
+	for i := range m {
+		m[i] = r.Bernoulli(density)
+	}
+	return m
+}
+
+func TestRLCDenseMask(t *testing.T) {
+	mask := make([]bool, 64)
+	for i := range mask {
+		mask[i] = true
+	}
+	bits, err := RLCEncode(mask, DefaultRLC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dense input: one (value,run=0) symbol per element — RLC expands it.
+	want := 64 * (8 + 4)
+	if bits != want {
+		t.Errorf("dense RLC = %d bits, want %d", bits, want)
+	}
+}
+
+func TestRLCAllZeros(t *testing.T) {
+	mask := make([]bool, 64)
+	bits, err := RLCEncode(mask, DefaultRLC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 64 zeros with 4-bit runs (max 15): overflow symbols every 16 zeros
+	// -> ceil(64/16) = 4 symbols.
+	want := 4 * (8 + 4)
+	if bits != want {
+		t.Errorf("all-zero RLC = %d bits, want %d", bits, want)
+	}
+}
+
+func TestRLCSparseBeatsDense(t *testing.T) {
+	r := rng.New(1)
+	mask := randomMask(r, 4096, 0.1) // 90% sparse
+	bits, err := RLCEncode(mask, DefaultRLC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense := DenseBits(len(mask), 8)
+	if bits >= dense {
+		t.Errorf("90%%-sparse RLC (%d bits) not below dense (%d bits)", bits, dense)
+	}
+	if ratio := CompressionRatio(dense, bits); ratio < 2 {
+		t.Errorf("compression ratio %.2f below 2 at 90%% sparsity", ratio)
+	}
+}
+
+func TestRLCRejectsBadConfig(t *testing.T) {
+	if _, err := RLCEncode([]bool{true}, RLCConfig{ValueBits: 0, RunBits: 4}); err == nil {
+		t.Error("zero value bits accepted")
+	}
+}
+
+func TestBitmapEncode(t *testing.T) {
+	mask := []bool{true, false, false, true}
+	bits, err := BitmapEncode(mask, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 4 + 2*8; bits != want {
+		t.Errorf("bitmap = %d bits, want %d", bits, want)
+	}
+	if _, err := BitmapEncode(mask, 0); err == nil {
+		t.Error("zero value bits accepted")
+	}
+}
+
+// TestEncodingSizesConsistent: for any mask, bitmap size is exact by
+// construction, and the best format is never larger than dense.
+func TestEncodingSizesConsistent(t *testing.T) {
+	if err := quick.Check(func(seed uint64, dRaw uint8) bool {
+		r := rng.New(seed)
+		density := float64(dRaw) / 255
+		mask := randomMask(r, 512, density)
+		best, err := BestFormat(mask, 8)
+		if err != nil {
+			return false
+		}
+		return best.Bits <= DenseBits(len(mask), 8) && best.Bits >= 0
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBestFormatSelection: very sparse masks choose RLC or bitmap; dense
+// masks stay dense.
+func TestBestFormatSelection(t *testing.T) {
+	r := rng.New(2)
+	sparse, _ := BestFormat(randomMask(r, 2048, 0.05), 8)
+	if sparse.Name == "dense" {
+		t.Errorf("95%%-sparse mask chose dense layout")
+	}
+	full := make([]bool, 2048)
+	for i := range full {
+		full[i] = true
+	}
+	denseChoice, _ := BestFormat(full, 8)
+	if denseChoice.Name != "dense" {
+		t.Errorf("fully dense mask chose %s", denseChoice.Name)
+	}
+}
+
+func TestCompressionRatioZeroGuard(t *testing.T) {
+	if CompressionRatio(100, 0) != 0 {
+		t.Error("zero encoded bits did not return 0")
+	}
+}

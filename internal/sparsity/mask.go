@@ -1,0 +1,216 @@
+package sparsity
+
+import (
+	"fmt"
+	"math"
+
+	"sparsedysta/internal/rng"
+)
+
+// MaskConfig describes the weight tensor of one layer and the target
+// sparsification. The tensor is logically [Cout][Cin][KH][KW]; fully
+// connected layers use KH = KW = 1.
+type MaskConfig struct {
+	Cin, Cout, KH, KW int
+	// Rate is the target weight sparsity in [0, 1). For BlockNM it is
+	// derived from N and M instead and this field is ignored.
+	Rate float64
+	// N, M define the block pattern for BlockNM (keep N of every M).
+	N, M int
+	// ImportanceBias applies only to ChannelWise: channel pruning keeps
+	// the channels with the largest weight magnitudes, which empirically
+	// carry denser (more informative) activations. The bias is the factor
+	// by which the surviving channels' activation sparsity is scaled
+	// relative to the layer average (<1 means kept channels are denser).
+	// Zero means "use the default of 0.75".
+	ImportanceBias float64
+}
+
+const defaultImportanceBias = 0.75
+
+// LayerMask is a per-layer weight-sparsity summary sufficient for exact
+// effective-MAC accounting: the number of kept weights contributed by each
+// input channel, aggregated over output channels and kernel positions.
+// Storing per-input-channel totals (rather than a full boolean tensor)
+// keeps ResNet-scale models cheap while preserving everything the valid-MAC
+// computation needs, because dynamic activation sparsity acts per input
+// channel.
+type LayerMask struct {
+	Pattern Pattern
+	Config  MaskConfig
+	// KeptPerCin[c] is the number of kept weights that read from input
+	// channel c (summed over Cout, KH, KW).
+	KeptPerCin []int64
+	// TotalKept is the sum of KeptPerCin.
+	TotalKept int64
+	// TotalWeights is Cin*Cout*KH*KW.
+	TotalWeights int64
+	// ChannelKept[c] reports whether input channel c survives at all
+	// (always true except under ChannelWise).
+	ChannelKept []bool
+}
+
+// Generate produces a LayerMask for the given pattern. The generator is
+// deterministic in r.
+func Generate(r *rng.Source, p Pattern, cfg MaskConfig) (*LayerMask, error) {
+	if cfg.Cin <= 0 || cfg.Cout <= 0 || cfg.KH <= 0 || cfg.KW <= 0 {
+		return nil, fmt.Errorf("sparsity: invalid mask config %+v", cfg)
+	}
+	if p != BlockNM && (cfg.Rate < 0 || cfg.Rate >= 1) {
+		return nil, fmt.Errorf("sparsity: rate %v out of [0,1)", cfg.Rate)
+	}
+	perCin := int64(cfg.Cout) * int64(cfg.KH) * int64(cfg.KW)
+	total := perCin * int64(cfg.Cin)
+	m := &LayerMask{
+		Pattern:      p,
+		Config:       cfg,
+		KeptPerCin:   make([]int64, cfg.Cin),
+		TotalWeights: total,
+		ChannelKept:  make([]bool, cfg.Cin),
+	}
+	for i := range m.ChannelKept {
+		m.ChannelKept[i] = true
+	}
+
+	switch p {
+	case Dense:
+		for c := range m.KeptPerCin {
+			m.KeptPerCin[c] = perCin
+		}
+	case RandomPointwise:
+		// Each weight is kept independently with probability 1-rate. Per
+		// input channel the kept count is Binomial(perCin, 1-rate); a
+		// normal approximation is accurate for the channel sizes of real
+		// layers and keeps generation O(Cin).
+		keep := 1 - cfg.Rate
+		mean := float64(perCin) * keep
+		sd := math.Sqrt(float64(perCin) * keep * cfg.Rate)
+		for c := range m.KeptPerCin {
+			k := int64(math.Round(r.NormAt(mean, sd)))
+			if k < 0 {
+				k = 0
+			}
+			if k > perCin {
+				k = perCin
+			}
+			m.KeptPerCin[c] = k
+		}
+	case BlockNM:
+		if cfg.N <= 0 || cfg.M <= 0 || cfg.N > cfg.M {
+			return nil, fmt.Errorf("sparsity: invalid N:M = %d:%d", cfg.N, cfg.M)
+		}
+		// Exactly N of every M weights along the input dimension are
+		// kept, so every input channel keeps the same fraction.
+		for c := range m.KeptPerCin {
+			m.KeptPerCin[c] = perCin * int64(cfg.N) / int64(cfg.M)
+		}
+	case ChannelWise:
+		pruned := int(math.Round(cfg.Rate * float64(cfg.Cin)))
+		if pruned >= cfg.Cin {
+			pruned = cfg.Cin - 1 // never prune every channel
+		}
+		// Pruned channels are chosen uniformly; importance ordering is
+		// modelled on the activation side (see ActDensityPerChannel).
+		perm := r.Perm(cfg.Cin)
+		for i := 0; i < pruned; i++ {
+			m.ChannelKept[perm[i]] = false
+		}
+		for c := range m.KeptPerCin {
+			if m.ChannelKept[c] {
+				m.KeptPerCin[c] = perCin
+			}
+		}
+	default:
+		return nil, fmt.Errorf("sparsity: unknown pattern %v", p)
+	}
+
+	for _, k := range m.KeptPerCin {
+		m.TotalKept += k
+	}
+	return m, nil
+}
+
+// Rate returns the realized weight sparsity of the mask.
+func (m *LayerMask) Rate() float64 {
+	if m.TotalWeights == 0 {
+		return 0
+	}
+	return 1 - float64(m.TotalKept)/float64(m.TotalWeights)
+}
+
+// ImportanceBias returns the configured (or default) kept-channel
+// activation-density bias for channel-wise masks, and 1 otherwise.
+func (m *LayerMask) ImportanceBias() float64 {
+	if m.Pattern != ChannelWise {
+		return 1
+	}
+	if m.Config.ImportanceBias > 0 {
+		return m.Config.ImportanceBias
+	}
+	return defaultImportanceBias
+}
+
+// ValidMACFraction returns the fraction of the layer's dense MACs that are
+// effective (both weight and activation non-zero) for one input sample,
+// given the per-input-channel activation density profile.
+//
+// densityPerCin[c] must be the fraction of non-zero activations in input
+// channel c for this sample. For ChannelWise masks the caller should pass
+// the *unconditioned* per-channel densities; the mask's importance bias is
+// applied here, capturing that magnitude-pruning keeps channels whose
+// activations are denser than the layer average (this is what separates the
+// random and channel distributions of paper Fig. 4).
+func (m *LayerMask) ValidMACFraction(densityPerCin []float64) float64 {
+	if len(densityPerCin) != len(m.KeptPerCin) {
+		panic(fmt.Sprintf("sparsity: density profile has %d channels, mask has %d",
+			len(densityPerCin), len(m.KeptPerCin)))
+	}
+	if m.TotalWeights == 0 {
+		return 0
+	}
+	bias := m.ImportanceBias()
+	var valid float64
+	for c, kept := range m.KeptPerCin {
+		if kept == 0 {
+			continue
+		}
+		d := densityPerCin[c]
+		if m.Pattern == ChannelWise {
+			// Kept channels are the high-magnitude ones: their zero
+			// fraction shrinks by the importance bias.
+			d = 1 - (1-d)*bias
+		}
+		if d < 0 {
+			d = 0
+		}
+		if d > 1 {
+			d = 1
+		}
+		valid += float64(kept) * d
+	}
+	return valid / float64(m.TotalWeights)
+}
+
+// UniformValidMACFraction is a convenience for callers that model a single
+// scalar activation density for the whole layer.
+func (m *LayerMask) UniformValidMACFraction(density float64) float64 {
+	if m.TotalWeights == 0 {
+		return 0
+	}
+	bias := m.ImportanceBias()
+	var valid float64
+	for _, kept := range m.KeptPerCin {
+		if kept == 0 {
+			continue
+		}
+		d := density
+		if m.Pattern == ChannelWise {
+			d = 1 - (1-d)*bias
+		}
+		if d > 1 {
+			d = 1
+		}
+		valid += float64(kept) * d
+	}
+	return valid / float64(m.TotalWeights)
+}

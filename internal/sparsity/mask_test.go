@@ -1,0 +1,282 @@
+package sparsity
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"sparsedysta/internal/rng"
+)
+
+func mustGenerate(t *testing.T, r *rng.Source, p Pattern, cfg MaskConfig) *LayerMask {
+	t.Helper()
+	m, err := Generate(r, p, cfg)
+	if err != nil {
+		t.Fatalf("Generate(%v): %v", p, err)
+	}
+	return m
+}
+
+func TestPatternString(t *testing.T) {
+	cases := map[Pattern]string{
+		Dense: "dense", RandomPointwise: "random", BlockNM: "nm", ChannelWise: "channel",
+	}
+	for p, want := range cases {
+		if got := p.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(p), got, want)
+		}
+	}
+	if got := Pattern(99).String(); got != "Pattern(99)" {
+		t.Errorf("unknown pattern String() = %q", got)
+	}
+}
+
+func TestParsePatternRoundTrip(t *testing.T) {
+	for _, p := range Patterns() {
+		got, err := ParsePattern(p.String())
+		if err != nil || got != p {
+			t.Errorf("ParsePattern(%q) = %v, %v", p.String(), got, err)
+		}
+	}
+	if _, err := ParsePattern("bogus"); err == nil {
+		t.Error("ParsePattern accepted bogus name")
+	}
+}
+
+func TestDenseMask(t *testing.T) {
+	cfg := MaskConfig{Cin: 8, Cout: 16, KH: 3, KW: 3}
+	m := mustGenerate(t, rng.New(1), Dense, cfg)
+	if m.Rate() != 0 {
+		t.Errorf("dense rate = %v", m.Rate())
+	}
+	if m.TotalKept != m.TotalWeights {
+		t.Errorf("dense kept %d of %d", m.TotalKept, m.TotalWeights)
+	}
+	if m.TotalWeights != 8*16*3*3 {
+		t.Errorf("TotalWeights = %d", m.TotalWeights)
+	}
+}
+
+func TestRandomMaskRate(t *testing.T) {
+	cfg := MaskConfig{Cin: 64, Cout: 128, KH: 3, KW: 3, Rate: 0.8}
+	m := mustGenerate(t, rng.New(2), RandomPointwise, cfg)
+	if got := m.Rate(); math.Abs(got-0.8) > 0.01 {
+		t.Errorf("random mask rate = %v, want ~0.8", got)
+	}
+	// All channels survive under unstructured pruning.
+	for c, kept := range m.ChannelKept {
+		if !kept {
+			t.Fatalf("channel %d pruned under random pattern", c)
+		}
+	}
+}
+
+func TestRandomMaskChannelVariance(t *testing.T) {
+	cfg := MaskConfig{Cin: 256, Cout: 64, KH: 3, KW: 3, Rate: 0.9}
+	m := mustGenerate(t, rng.New(3), RandomPointwise, cfg)
+	// Kept counts should vary across channels (binomial spread), unlike
+	// the exactly-balanced N:M pattern.
+	first := m.KeptPerCin[0]
+	same := true
+	for _, k := range m.KeptPerCin[1:] {
+		if k != first {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("random mask has identical kept counts in every channel")
+	}
+}
+
+func TestNMMask(t *testing.T) {
+	cfg := MaskConfig{Cin: 32, Cout: 64, KH: 1, KW: 1, N: 2, M: 4}
+	m := mustGenerate(t, rng.New(4), BlockNM, cfg)
+	if got := m.Rate(); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("2:4 rate = %v, want 0.5", got)
+	}
+	for c, k := range m.KeptPerCin {
+		if k != m.KeptPerCin[0] {
+			t.Fatalf("N:M kept count differs at channel %d", c)
+		}
+	}
+}
+
+func TestNMMaskInvalid(t *testing.T) {
+	cfg := MaskConfig{Cin: 4, Cout: 4, KH: 1, KW: 1, N: 5, M: 4}
+	if _, err := Generate(rng.New(1), BlockNM, cfg); err == nil {
+		t.Error("N>M accepted")
+	}
+	cfg.N, cfg.M = 0, 4
+	if _, err := Generate(rng.New(1), BlockNM, cfg); err == nil {
+		t.Error("N=0 accepted")
+	}
+}
+
+func TestChannelMask(t *testing.T) {
+	cfg := MaskConfig{Cin: 100, Cout: 32, KH: 3, KW: 3, Rate: 0.6}
+	m := mustGenerate(t, rng.New(5), ChannelWise, cfg)
+	if got := m.Rate(); math.Abs(got-0.6) > 0.011 {
+		t.Errorf("channel rate = %v, want ~0.6", got)
+	}
+	prunedCount := 0
+	for c, kept := range m.ChannelKept {
+		if !kept {
+			prunedCount++
+			if m.KeptPerCin[c] != 0 {
+				t.Fatalf("pruned channel %d has kept weights", c)
+			}
+		} else if m.KeptPerCin[c] != int64(cfg.Cout*cfg.KH*cfg.KW) {
+			t.Fatalf("kept channel %d is not fully dense", c)
+		}
+	}
+	if prunedCount != 60 {
+		t.Errorf("pruned %d channels, want 60", prunedCount)
+	}
+}
+
+func TestChannelMaskNeverPrunesAll(t *testing.T) {
+	cfg := MaskConfig{Cin: 4, Cout: 4, KH: 1, KW: 1, Rate: 0.99}
+	m := mustGenerate(t, rng.New(6), ChannelWise, cfg)
+	if m.TotalKept == 0 {
+		t.Error("channel pruning removed every channel")
+	}
+}
+
+func TestGenerateRejectsBadConfig(t *testing.T) {
+	if _, err := Generate(rng.New(1), Dense, MaskConfig{Cin: 0, Cout: 1, KH: 1, KW: 1}); err == nil {
+		t.Error("zero Cin accepted")
+	}
+	if _, err := Generate(rng.New(1), RandomPointwise, MaskConfig{Cin: 4, Cout: 4, KH: 1, KW: 1, Rate: 1.0}); err == nil {
+		t.Error("rate 1.0 accepted")
+	}
+	if _, err := Generate(rng.New(1), Pattern(42), MaskConfig{Cin: 4, Cout: 4, KH: 1, KW: 1}); err == nil {
+		t.Error("unknown pattern accepted")
+	}
+}
+
+// TestValidMACFractionDense checks the base case: with a dense mask, the
+// valid fraction is the mean activation density.
+func TestValidMACFractionDense(t *testing.T) {
+	cfg := MaskConfig{Cin: 4, Cout: 8, KH: 1, KW: 1}
+	m := mustGenerate(t, rng.New(7), Dense, cfg)
+	got := m.ValidMACFraction([]float64{0.2, 0.4, 0.6, 0.8})
+	if math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("valid fraction = %v, want 0.5", got)
+	}
+}
+
+// TestValidMACFractionRandomMatchesProduct verifies the law-of-large-numbers
+// behaviour of unstructured sparsity: valid fraction ≈ (1-ws)·density.
+func TestValidMACFractionRandomMatchesProduct(t *testing.T) {
+	cfg := MaskConfig{Cin: 512, Cout: 512, KH: 3, KW: 3, Rate: 0.95}
+	m := mustGenerate(t, rng.New(8), RandomPointwise, cfg)
+	density := make([]float64, cfg.Cin)
+	for i := range density {
+		density[i] = 0.6
+	}
+	got := m.ValidMACFraction(density)
+	want := (1 - 0.95) * 0.6
+	if math.Abs(got-want) > 0.002 {
+		t.Errorf("valid fraction = %v, want ~%v", got, want)
+	}
+}
+
+// TestChannelImportanceBias verifies the channel pattern yields more valid
+// MACs than random at the same rate and density, reflecting that magnitude
+// pruning keeps denser channels (paper Fig. 4's distribution shift).
+func TestChannelImportanceBias(t *testing.T) {
+	r := rng.New(9)
+	cfgR := MaskConfig{Cin: 256, Cout: 256, KH: 3, KW: 3, Rate: 0.8}
+	mr := mustGenerate(t, r, RandomPointwise, cfgR)
+	mc := mustGenerate(t, r, ChannelWise, cfgR)
+	density := make([]float64, cfgR.Cin)
+	for i := range density {
+		density[i] = 0.5
+	}
+	fr := mr.ValidMACFraction(density)
+	fc := mc.ValidMACFraction(density)
+	if fc <= fr {
+		t.Errorf("channel valid fraction %v not above random %v", fc, fr)
+	}
+	// The shift should be material but bounded (paper reports up to ~40%).
+	if fc/fr > 1.8 {
+		t.Errorf("channel/random valid-MAC ratio %v implausibly large", fc/fr)
+	}
+}
+
+func TestValidMACFractionPanicsOnMismatch(t *testing.T) {
+	m := mustGenerate(t, rng.New(10), Dense, MaskConfig{Cin: 4, Cout: 4, KH: 1, KW: 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on mismatched density profile")
+		}
+	}()
+	m.ValidMACFraction([]float64{1, 1})
+}
+
+func TestUniformValidMatchesPerChannelUniform(t *testing.T) {
+	if err := quick.Check(func(seed uint64, rateRaw uint8) bool {
+		rate := float64(rateRaw%90) / 100
+		cfg := MaskConfig{Cin: 64, Cout: 32, KH: 3, KW: 3, Rate: rate}
+		m, err := Generate(rng.New(seed), RandomPointwise, cfg)
+		if err != nil {
+			return false
+		}
+		density := make([]float64, cfg.Cin)
+		for i := range density {
+			density[i] = 0.37
+		}
+		a := m.ValidMACFraction(density)
+		b := m.UniformValidMACFraction(0.37)
+		return math.Abs(a-b) < 1e-12
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestValidFractionBounds: the valid fraction is always within [0, 1-rate]
+// up to channel-bias effects bounded by 1.
+func TestValidFractionBounds(t *testing.T) {
+	if err := quick.Check(func(seed uint64, pRaw, dRaw uint8) bool {
+		p := Patterns()[int(pRaw)%len(Patterns())]
+		cfg := MaskConfig{Cin: 32, Cout: 16, KH: 3, KW: 3, Rate: 0.5, N: 2, M: 4}
+		m, err := Generate(rng.New(seed), p, cfg)
+		if err != nil {
+			return false
+		}
+		d := float64(dRaw) / 255
+		f := m.UniformValidMACFraction(d)
+		return f >= 0 && f <= 1+1e-12
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultEfficiencyOrdering(t *testing.T) {
+	// Compute efficiency: dense ≥ channel ≥ nm ≥ random.
+	d := DefaultEfficiency(Dense)
+	c := DefaultEfficiency(ChannelWise)
+	nm := DefaultEfficiency(BlockNM)
+	r := DefaultEfficiency(RandomPointwise)
+	if !(d.Compute >= c.Compute && c.Compute >= nm.Compute && nm.Compute >= r.Compute) {
+		t.Errorf("efficiency ordering violated: %v %v %v %v", d, c, nm, r)
+	}
+	if r.Storage <= 1 {
+		t.Error("random pattern should have storage overhead > 1")
+	}
+	if d.Storage != 1 {
+		t.Error("dense storage overhead must be 1")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := MaskConfig{Cin: 64, Cout: 64, KH: 3, KW: 3, Rate: 0.7}
+	a := mustGenerate(t, rng.New(11), RandomPointwise, cfg)
+	b := mustGenerate(t, rng.New(11), RandomPointwise, cfg)
+	for c := range a.KeptPerCin {
+		if a.KeptPerCin[c] != b.KeptPerCin[c] {
+			t.Fatalf("mask generation not deterministic at channel %d", c)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+// Package sparsity models the static weight-sparsity side of the
+// Sparse-DySta benchmark: the three pruning patterns of paper §3.2 (random
+// point-wise, N:M block-wise, channel-wise), mask generation, effective-MAC
+// accounting under combined weight and activation sparsity, and the
+// pattern-dependent hardware efficiency that makes equal sparsity rates
+// yield different latencies (paper Figs. 1 and 4).
+package sparsity
+
+import "fmt"
+
+// Pattern identifies the non-zero mask structure used when sparsifying a
+// model's weights (paper §2.3.2).
+type Pattern int
+
+const (
+	// Dense means no weight sparsification.
+	Dense Pattern = iota
+	// RandomPointwise is unstructured magnitude pruning (Han et al.):
+	// individual weights are zeroed with no structural constraint.
+	RandomPointwise
+	// BlockNM is the N:M block-wise pattern (e.g. 2:4 on NVIDIA Ampere
+	// Sparse Tensor Cores): in every group of M consecutive weights along
+	// the input dimension, exactly N are kept.
+	BlockNM
+	// ChannelWise prunes entire input channels (He et al.), leaving a
+	// smaller dense computation.
+	ChannelWise
+)
+
+var patternNames = map[Pattern]string{
+	Dense:           "dense",
+	RandomPointwise: "random",
+	BlockNM:         "nm",
+	ChannelWise:     "channel",
+}
+
+// String returns the short name used in trace files and CLI flags.
+func (p Pattern) String() string {
+	if s, ok := patternNames[p]; ok {
+		return s
+	}
+	return fmt.Sprintf("Pattern(%d)", int(p))
+}
+
+// ParsePattern converts a short name back to a Pattern.
+func ParsePattern(s string) (Pattern, error) {
+	for p, name := range patternNames {
+		if name == s {
+			return p, nil
+		}
+	}
+	return Dense, fmt.Errorf("sparsity: unknown pattern %q", s)
+}
+
+// Patterns lists all supported patterns in a stable order.
+func Patterns() []Pattern {
+	return []Pattern{Dense, RandomPointwise, BlockNM, ChannelWise}
+}
+
+// Efficiency captures how effectively a sparse accelerator converts skipped
+// operations into saved cycles for a given pattern. It is the hardware-side
+// half of the paper's observation that sparsity *pattern* matters, not just
+// rate: the same 80% sparsity yields different valid-MAC and latency
+// profiles per pattern (Fig. 4), and the achievable speedup depends on how
+// well the pattern load-balances across the PE array.
+type Efficiency struct {
+	// Compute is the fraction of ideal zero-skipping speedup realized by
+	// the PE array for this pattern (1 = perfect load balance).
+	Compute float64
+	// Storage is the effective compression ratio overhead: bytes needed
+	// per kept weight relative to dense storage of that weight (>1 means
+	// index/bitmap overhead, as for unstructured patterns).
+	Storage float64
+}
+
+// DefaultEfficiency returns the Eyeriss-V2-calibrated efficiency for a
+// pattern. Random point-wise sparsity suffers PE load imbalance and needs
+// per-weight index storage (CSC-style); N:M is balanced by construction
+// with cheap 2-bit indices; channel-wise pruning leaves a dense problem
+// with no overhead but coarser granularity.
+func DefaultEfficiency(p Pattern) Efficiency {
+	switch p {
+	case RandomPointwise:
+		return Efficiency{Compute: 0.80, Storage: 1.25}
+	case BlockNM:
+		return Efficiency{Compute: 0.95, Storage: 1.06}
+	case ChannelWise:
+		return Efficiency{Compute: 0.98, Storage: 1.0}
+	default:
+		return Efficiency{Compute: 1.0, Storage: 1.0}
+	}
+}

@@ -1,0 +1,195 @@
+package sparsity
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"sparsedysta/internal/rng"
+)
+
+// This file is the reproduction's stand-in for SparseML's pruning recipes
+// (paper §3.2): it materializes synthetic weight tensors with realistic
+// magnitude statistics and applies actual magnitude-based pruning under
+// each pattern, yielding bit-level masks. trace generation uses the
+// statistical LayerMask summaries for speed; this tensor-level path
+// validates them and feeds the storage-format analysis.
+
+// Tensor is a dense weight tensor in [Cout][Cin*KH*KW] row-major layout.
+type Tensor struct {
+	Cout, Cin, KH, KW int
+	Data              []float64
+}
+
+// NewTensor draws a synthetic weight tensor. Trained convolution weights
+// are approximately zero-mean with near-normal magnitudes; per-channel
+// scale variation models the magnitude structure channel pruning exploits.
+func NewTensor(r *rng.Source, cout, cin, kh, kw int) *Tensor {
+	t := &Tensor{
+		Cout: cout, Cin: cin, KH: kh, KW: kw,
+		Data: make([]float64, cout*cin*kh*kw),
+	}
+	per := kh * kw
+	for ci := 0; ci < cin; ci++ {
+		// Log-normal channel scale: some input channels matter much more
+		// than others.
+		scale := math.Exp(r.NormAt(0, 0.6))
+		for co := 0; co < cout; co++ {
+			base := (co*cin + ci) * per
+			for k := 0; k < per; k++ {
+				t.Data[base+k] = r.Norm() * scale
+			}
+		}
+	}
+	return t
+}
+
+// Numel returns the element count.
+func (t *Tensor) Numel() int { return len(t.Data) }
+
+// at indexes [co][ci][k].
+func (t *Tensor) at(co, ci, k int) float64 {
+	return t.Data[(co*t.Cin+ci)*t.KH*t.KW+k]
+}
+
+// PruneMagnitude applies magnitude pruning under the given pattern at the
+// target rate and returns the boolean keep-mask in the tensor's layout.
+func PruneMagnitude(t *Tensor, p Pattern, rate float64, nm [2]int) ([]bool, error) {
+	if rate < 0 || rate >= 1 {
+		return nil, fmt.Errorf("sparsity: rate %v out of [0,1)", rate)
+	}
+	keep := make([]bool, t.Numel())
+	switch p {
+	case Dense:
+		for i := range keep {
+			keep[i] = true
+		}
+	case RandomPointwise:
+		// Global magnitude threshold at the rate quantile.
+		mags := make([]float64, t.Numel())
+		for i, v := range t.Data {
+			mags[i] = math.Abs(v)
+		}
+		sort.Float64s(mags)
+		cut := mags[int(rate*float64(len(mags)))]
+		for i, v := range t.Data {
+			keep[i] = math.Abs(v) > cut
+		}
+	case BlockNM:
+		n, m := nm[0], nm[1]
+		if n <= 0 || m <= 0 || n > m {
+			return nil, fmt.Errorf("sparsity: invalid N:M %v", nm)
+		}
+		// Keep the N largest magnitudes of every group of M consecutive
+		// weights along the flattened input dimension.
+		row := t.Cin * t.KH * t.KW
+		idx := make([]int, m)
+		for co := 0; co < t.Cout; co++ {
+			for g := 0; g+m <= row; g += m {
+				base := co*row + g
+				for j := 0; j < m; j++ {
+					idx[j] = base + j
+				}
+				sort.Slice(idx, func(a, b int) bool {
+					return math.Abs(t.Data[idx[a]]) > math.Abs(t.Data[idx[b]])
+				})
+				for j := 0; j < n; j++ {
+					keep[idx[j]] = true
+				}
+			}
+			// A ragged tail (row not divisible by M) stays dense.
+			for r := co*row + (row/m)*m; r < (co+1)*row; r++ {
+				keep[r] = true
+			}
+		}
+	case ChannelWise:
+		// Rank input channels by L2 norm; prune the weakest fraction.
+		norms := make([]float64, t.Cin)
+		for ci := 0; ci < t.Cin; ci++ {
+			var s float64
+			for co := 0; co < t.Cout; co++ {
+				for k := 0; k < t.KH*t.KW; k++ {
+					v := t.at(co, ci, k)
+					s += v * v
+				}
+			}
+			norms[ci] = s
+		}
+		order := make([]int, t.Cin)
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool { return norms[order[a]] < norms[order[b]] })
+		pruned := int(math.Round(rate * float64(t.Cin)))
+		if pruned >= t.Cin {
+			pruned = t.Cin - 1
+		}
+		prunedSet := make([]bool, t.Cin)
+		for _, ci := range order[:pruned] {
+			prunedSet[ci] = true
+		}
+		per := t.KH * t.KW
+		for co := 0; co < t.Cout; co++ {
+			for ci := 0; ci < t.Cin; ci++ {
+				if prunedSet[ci] {
+					continue
+				}
+				base := (co*t.Cin + ci) * per
+				for k := 0; k < per; k++ {
+					keep[base+k] = true
+				}
+			}
+		}
+	default:
+		return nil, fmt.Errorf("sparsity: unknown pattern %v", p)
+	}
+	return keep, nil
+}
+
+// MaskFromTensor summarizes a bit-level keep-mask into the LayerMask form
+// the fast path uses, so the statistical and tensor-level paths can be
+// cross-validated.
+func MaskFromTensor(t *Tensor, p Pattern, keep []bool) (*LayerMask, error) {
+	if len(keep) != t.Numel() {
+		return nil, fmt.Errorf("sparsity: mask has %d bits for %d weights", len(keep), t.Numel())
+	}
+	m := &LayerMask{
+		Pattern: p,
+		Config: MaskConfig{
+			Cin: t.Cin, Cout: t.Cout, KH: t.KH, KW: t.KW,
+		},
+		KeptPerCin:   make([]int64, t.Cin),
+		TotalWeights: int64(t.Numel()),
+		ChannelKept:  make([]bool, t.Cin),
+	}
+	per := t.KH * t.KW
+	for co := 0; co < t.Cout; co++ {
+		for ci := 0; ci < t.Cin; ci++ {
+			base := (co*t.Cin + ci) * per
+			for k := 0; k < per; k++ {
+				if keep[base+k] {
+					m.KeptPerCin[ci]++
+				}
+			}
+		}
+	}
+	for ci, n := range m.KeptPerCin {
+		m.TotalKept += n
+		m.ChannelKept[ci] = n > 0
+	}
+	return m, nil
+}
+
+// Sparsity returns the zero fraction of a keep-mask.
+func Sparsity(keep []bool) float64 {
+	if len(keep) == 0 {
+		return 0
+	}
+	zeros := 0
+	for _, k := range keep {
+		if !k {
+			zeros++
+		}
+	}
+	return float64(zeros) / float64(len(keep))
+}

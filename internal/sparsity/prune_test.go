@@ -1,0 +1,244 @@
+package sparsity
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"sparsedysta/internal/rng"
+)
+
+func testTensor(seed uint64) *Tensor {
+	return NewTensor(rng.New(seed), 32, 16, 3, 3)
+}
+
+func TestNewTensorShape(t *testing.T) {
+	tr := testTensor(1)
+	if tr.Numel() != 32*16*3*3 {
+		t.Fatalf("Numel = %d", tr.Numel())
+	}
+	// Weights must not be degenerate.
+	var nonzero int
+	for _, v := range tr.Data {
+		if v != 0 {
+			nonzero++
+		}
+	}
+	if nonzero < tr.Numel()*9/10 {
+		t.Errorf("synthetic tensor mostly zero: %d of %d", nonzero, tr.Numel())
+	}
+}
+
+func TestPruneMagnitudeRates(t *testing.T) {
+	tr := testTensor(2)
+	for _, rate := range []float64{0.5, 0.8, 0.95} {
+		keep, err := PruneMagnitude(tr, RandomPointwise, rate, [2]int{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := Sparsity(keep); math.Abs(got-rate) > 0.01 {
+			t.Errorf("random pruning at %.2f realized %.3f", rate, got)
+		}
+	}
+}
+
+// TestPruneKeepsLargeMagnitudes: magnitude pruning must keep weights
+// whose magnitude exceeds every kept-out weight (global threshold).
+func TestPruneKeepsLargeMagnitudes(t *testing.T) {
+	tr := testTensor(3)
+	keep, err := PruneMagnitude(tr, RandomPointwise, 0.7, [2]int{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	minKept, maxDropped := math.Inf(1), 0.0
+	for i, k := range keep {
+		mag := math.Abs(tr.Data[i])
+		if k && mag < minKept {
+			minKept = mag
+		}
+		if !k && mag > maxDropped {
+			maxDropped = mag
+		}
+	}
+	if maxDropped > minKept {
+		t.Errorf("dropped weight %.4f above kept weight %.4f", maxDropped, minKept)
+	}
+}
+
+// TestPruneNMStructure verifies the N:M constraint: every aligned group
+// of M weights keeps exactly N.
+func TestPruneNMStructure(t *testing.T) {
+	tr := testTensor(4)
+	n, m := 2, 4
+	keep, err := PruneMagnitude(tr, BlockNM, 0, [2]int{n, m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := tr.Cin * tr.KH * tr.KW
+	for co := 0; co < tr.Cout; co++ {
+		for g := 0; g+m <= row; g += m {
+			kept := 0
+			for j := 0; j < m; j++ {
+				if keep[co*row+g+j] {
+					kept++
+				}
+			}
+			if kept != n {
+				t.Fatalf("group at (%d,%d) kept %d of %d", co, g, kept, m)
+			}
+		}
+	}
+	// Overall rate = 1 - N/M on the divisible portion.
+	if got := Sparsity(keep); math.Abs(got-0.5) > 0.02 {
+		t.Errorf("2:4 sparsity = %.3f", got)
+	}
+}
+
+func TestPruneNMInvalid(t *testing.T) {
+	tr := testTensor(5)
+	if _, err := PruneMagnitude(tr, BlockNM, 0, [2]int{5, 4}); err == nil {
+		t.Error("N>M accepted")
+	}
+}
+
+// TestPruneChannelStructure: channel pruning removes whole input channels
+// — the weakest ones by L2 norm.
+func TestPruneChannelStructure(t *testing.T) {
+	tr := testTensor(6)
+	keep, err := PruneMagnitude(tr, ChannelWise, 0.5, [2]int{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mask, err := MaskFromTensor(tr, ChannelWise, keep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	per := int64(tr.Cout * tr.KH * tr.KW)
+	prunedCount := 0
+	var keptNormMin, prunedNormMax float64 = math.Inf(1), 0
+	for ci := 0; ci < tr.Cin; ci++ {
+		var norm float64
+		for co := 0; co < tr.Cout; co++ {
+			for k := 0; k < tr.KH*tr.KW; k++ {
+				v := tr.at(co, ci, k)
+				norm += v * v
+			}
+		}
+		switch mask.KeptPerCin[ci] {
+		case 0:
+			prunedCount++
+			if norm > prunedNormMax {
+				prunedNormMax = norm
+			}
+		case per:
+			if norm < keptNormMin {
+				keptNormMin = norm
+			}
+		default:
+			t.Fatalf("channel %d partially kept: %d of %d", ci, mask.KeptPerCin[ci], per)
+		}
+	}
+	if prunedCount != 8 {
+		t.Errorf("pruned %d of 16 channels, want 8", prunedCount)
+	}
+	if prunedNormMax > keptNormMin {
+		t.Errorf("pruned channel norm %.3f above kept channel norm %.3f",
+			prunedNormMax, keptNormMin)
+	}
+}
+
+func TestPruneRejectsBadRate(t *testing.T) {
+	tr := testTensor(7)
+	if _, err := PruneMagnitude(tr, RandomPointwise, 1.0, [2]int{}); err == nil {
+		t.Error("rate 1.0 accepted")
+	}
+	if _, err := PruneMagnitude(tr, Pattern(77), 0.5, [2]int{}); err == nil {
+		t.Error("unknown pattern accepted")
+	}
+}
+
+// TestMaskFromTensorAgreesWithStatisticalPath cross-validates the
+// tensor-level pruning against the fast statistical generator: at the
+// same pattern and rate the realized rates and valid-MAC fractions agree.
+func TestMaskFromTensorAgreesWithStatisticalPath(t *testing.T) {
+	r := rng.New(8)
+	tr := NewTensor(r, 64, 64, 3, 3)
+	keep, err := PruneMagnitude(tr, RandomPointwise, 0.8, [2]int{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tensorMask, err := MaskFromTensor(tr, RandomPointwise, keep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	statMask, err := Generate(r, RandomPointwise, MaskConfig{
+		Cin: 64, Cout: 64, KH: 3, KW: 3, Rate: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tensorMask.Rate()-statMask.Rate()) > 0.02 {
+		t.Errorf("rates disagree: tensor %.3f vs statistical %.3f",
+			tensorMask.Rate(), statMask.Rate())
+	}
+	a := tensorMask.UniformValidMACFraction(0.5)
+	b := statMask.UniformValidMACFraction(0.5)
+	if math.Abs(a-b) > 0.02 {
+		t.Errorf("valid-MAC fractions disagree: %.4f vs %.4f", a, b)
+	}
+}
+
+func TestMaskFromTensorValidation(t *testing.T) {
+	tr := testTensor(9)
+	if _, err := MaskFromTensor(tr, Dense, make([]bool, 3)); err == nil {
+		t.Error("short mask accepted")
+	}
+}
+
+func TestSparsityHelper(t *testing.T) {
+	if Sparsity(nil) != 0 {
+		t.Error("empty mask sparsity not 0")
+	}
+	if got := Sparsity([]bool{true, false, false, false}); got != 0.75 {
+		t.Errorf("Sparsity = %v", got)
+	}
+}
+
+// TestPruneDeterministic: same tensor + pattern + rate => same mask.
+func TestPruneDeterministic(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		tr := testTensor(seed)
+		a, err1 := PruneMagnitude(tr, ChannelWise, 0.5, [2]int{})
+		b, err2 := PruneMagnitude(tr, ChannelWise, 0.5, [2]int{})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRLCOnPrunedTensor end-to-ends the storage pipeline: prune a tensor,
+// size its formats, and confirm sparse formats pay off at high rates.
+func TestRLCOnPrunedTensor(t *testing.T) {
+	tr := testTensor(10)
+	keep, err := PruneMagnitude(tr, RandomPointwise, 0.9, [2]int{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := BestFormat(keep, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Name == "dense" {
+		t.Error("tensor pruned at rate 0.9 stored dense")
+	}
+	if ratio := CompressionRatio(DenseBits(len(keep), 8), best.Bits); ratio < 2.5 {
+		t.Errorf("compression ratio %.2f below 2.5 at 90%% sparsity", ratio)
+	}
+}

@@ -1,0 +1,53 @@
+package stats
+
+import "math"
+
+// Running accumulates streaming summary statistics in a single pass using
+// Welford's algorithm. It is used by the scheduler engine to track metric
+// aggregates without retaining per-request slices.
+type Running struct {
+	n        int
+	mean, m2 float64
+	min, max float64
+}
+
+// Add records one observation.
+func (r *Running) Add(x float64) {
+	r.n++
+	if r.n == 1 {
+		r.min, r.max = x, x
+	} else {
+		if x < r.min {
+			r.min = x
+		}
+		if x > r.max {
+			r.max = x
+		}
+	}
+	delta := x - r.mean
+	r.mean += delta / float64(r.n)
+	r.m2 += delta * (x - r.mean)
+}
+
+// N returns the number of observations recorded.
+func (r *Running) N() int { return r.n }
+
+// Mean returns the running mean, or 0 before any observation.
+func (r *Running) Mean() float64 { return r.mean }
+
+// Variance returns the running population variance.
+func (r *Running) Variance() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n)
+}
+
+// StdDev returns the running population standard deviation.
+func (r *Running) StdDev() float64 { return math.Sqrt(r.Variance()) }
+
+// Min returns the smallest observation, or 0 before any observation.
+func (r *Running) Min() float64 { return r.min }
+
+// Max returns the largest observation, or 0 before any observation.
+func (r *Running) Max() float64 { return r.max }

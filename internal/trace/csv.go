@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"sparsedysta/internal/sparsity"
+)
+
+// CSV layout, mirroring the paper's "save as files" step (Fig. 7): one row
+// per (sample, layer) with columns
+//
+//	model, pattern, sample, layer, latency_ns, sparsity
+//
+// A header row is written first. Rows must be grouped by sample and
+// ordered by layer, which is how WriteCSV emits them.
+
+var csvHeader = []string{"model", "pattern", "sample", "layer", "latency_ns", "sparsity"}
+
+// WriteCSV writes the traces of one model-pattern pair.
+func WriteCSV(w io.Writer, k Key, traces []SampleTrace) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("trace: writing header: %w", err)
+	}
+	for i, tr := range traces {
+		for l := range tr.LayerLatency {
+			rec := []string{
+				k.Model,
+				k.Pattern.String(),
+				strconv.Itoa(i),
+				strconv.Itoa(l),
+				strconv.FormatInt(int64(tr.LayerLatency[l]), 10),
+				strconv.FormatFloat(tr.LayerSparsity[l], 'g', -1, 64),
+			}
+			if err := cw.Write(rec); err != nil {
+				return fmt.Errorf("trace: writing sample %d layer %d: %w", i, l, err)
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a file written by WriteCSV, returning its key and traces.
+func ReadCSV(r io.Reader) (Key, []SampleTrace, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+	header, err := cr.Read()
+	if err != nil {
+		return Key{}, nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	for i, want := range csvHeader {
+		if header[i] != want {
+			return Key{}, nil, fmt.Errorf("trace: header column %d is %q, want %q", i, header[i], want)
+		}
+	}
+
+	var key Key
+	var traces []SampleTrace
+	cur := -1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return Key{}, nil, fmt.Errorf("trace: reading row: %w", err)
+		}
+		pat, err := sparsity.ParsePattern(rec[1])
+		if err != nil {
+			return Key{}, nil, err
+		}
+		rowKey := Key{Model: rec[0], Pattern: pat}
+		if cur == -1 {
+			key = rowKey
+		} else if rowKey != key {
+			return Key{}, nil, fmt.Errorf("trace: mixed keys in one file: %v and %v", key, rowKey)
+		}
+		sample, err := strconv.Atoi(rec[2])
+		if err != nil {
+			return Key{}, nil, fmt.Errorf("trace: bad sample index %q: %w", rec[2], err)
+		}
+		layer, err := strconv.Atoi(rec[3])
+		if err != nil {
+			return Key{}, nil, fmt.Errorf("trace: bad layer index %q: %w", rec[3], err)
+		}
+		latNS, err := strconv.ParseInt(rec[4], 10, 64)
+		if err != nil {
+			return Key{}, nil, fmt.Errorf("trace: bad latency %q: %w", rec[4], err)
+		}
+		sp, err := strconv.ParseFloat(rec[5], 64)
+		if err != nil {
+			return Key{}, nil, fmt.Errorf("trace: bad sparsity %q: %w", rec[5], err)
+		}
+
+		switch {
+		case sample == cur+1 && layer == 0:
+			traces = append(traces, SampleTrace{})
+			cur = sample
+		case sample == cur && layer == len(traces[cur].LayerLatency):
+			// next layer of the current sample
+		default:
+			return Key{}, nil, fmt.Errorf("trace: row out of order: sample %d layer %d after sample %d",
+				sample, layer, cur)
+		}
+		tr := &traces[cur]
+		tr.LayerLatency = append(tr.LayerLatency, time.Duration(latNS))
+		tr.LayerSparsity = append(tr.LayerSparsity, sp)
+	}
+	if cur == -1 {
+		return Key{}, nil, fmt.Errorf("trace: file has no data rows")
+	}
+	return key, traces, nil
+}

@@ -1,0 +1,148 @@
+// Package trace implements Phase 1 of the paper's evaluation methodology
+// (§3.3.1, Fig. 7): running the hardware simulator over a dataset to
+// produce "runtime information" — per-layer latency and sparsity for every
+// (model, pattern, input) triple — which is saved to files and later
+// replayed by the scheduler engine in Phase 2.
+//
+// It also derives the offline profiling statistics (average latency and
+// average layer sparsity per model-pattern pair) that populate Dysta's
+// model-info LUTs (paper §4.2.1) and every baseline's latency estimates.
+package trace
+
+import (
+	"fmt"
+	"time"
+
+	"sparsedysta/internal/accel"
+	"sparsedysta/internal/dataset"
+	"sparsedysta/internal/models"
+	"sparsedysta/internal/sparsity"
+)
+
+// Key identifies one model-pattern pair, the granularity at which the
+// paper stores LUT entries and runtime-info files.
+type Key struct {
+	Model   string
+	Pattern sparsity.Pattern
+}
+
+// String renders the key as model/pattern.
+func (k Key) String() string { return k.Model + "/" + k.Pattern.String() }
+
+// SampleTrace is the runtime information of one input processed in
+// isolation: what the hardware simulator measured per layer.
+type SampleTrace struct {
+	// LayerLatency[l] is layer l's isolated execution latency.
+	LayerLatency []time.Duration
+	// LayerSparsity[l] is the dynamic sparsity the hardware monitor
+	// observes at layer l.
+	LayerSparsity []float64
+}
+
+// Total returns the isolated end-to-end latency (the paper's T_isol).
+func (t *SampleTrace) Total() time.Duration {
+	var sum time.Duration
+	for _, d := range t.LayerLatency {
+		sum += d
+	}
+	return sum
+}
+
+// Remaining returns the isolated latency of layers from index `from` to
+// the end.
+func (t *SampleTrace) Remaining(from int) time.Duration {
+	var sum time.Duration
+	for _, d := range t.LayerLatency[from:] {
+		sum += d
+	}
+	return sum
+}
+
+// NumLayers returns the layer count of the trace.
+func (t *SampleTrace) NumLayers() int { return len(t.LayerLatency) }
+
+// BuildConfig controls trace generation for one model-pattern pair.
+type BuildConfig struct {
+	Model *models.Model
+	// Pattern and WeightRate define the static sparsification. AttNN
+	// models conventionally use Dense/0 (their sparsity is dynamic).
+	Pattern    sparsity.Pattern
+	WeightRate float64
+	// Preset is the dataset preset; zero value selects
+	// dataset.DefaultPreset.
+	Preset *dataset.Preset
+	// Samples is the number of inputs to process.
+	Samples int
+	// Seed makes generation reproducible.
+	Seed uint64
+}
+
+// Build runs the hardware simulator over cfg.Samples inputs and returns
+// their runtime information, the Phase 1 step of Fig. 7.
+func Build(acc accel.Accelerator, cfg BuildConfig) ([]SampleTrace, error) {
+	if cfg.Model == nil {
+		return nil, fmt.Errorf("trace: nil model")
+	}
+	if cfg.Samples <= 0 {
+		return nil, fmt.Errorf("trace: non-positive sample count %d", cfg.Samples)
+	}
+	if acc.Family() != cfg.Model.Family {
+		return nil, fmt.Errorf("trace: model %s (family %v) on accelerator %s (family %v)",
+			cfg.Model.Name, cfg.Model.Family, acc.Name(), acc.Family())
+	}
+	preset := dataset.DefaultPreset(cfg.Model)
+	if cfg.Preset != nil {
+		preset = *cfg.Preset
+	}
+	stream, err := dataset.NewStream(cfg.Model, preset, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([]SampleTrace, cfg.Samples)
+	for i := range out {
+		sample := stream.Next()
+		tr := SampleTrace{
+			LayerLatency:  make([]time.Duration, cfg.Model.NumLayers()),
+			LayerSparsity: sample.Sparsity,
+		}
+		for l, layer := range cfg.Model.Layers {
+			tr.LayerLatency[l] = acc.LayerLatency(layer, accel.LayerSparsity{
+				Pattern:            cfg.Pattern,
+				WeightRate:         cfg.WeightRate,
+				ActivationSparsity: sample.Sparsity[l],
+			})
+		}
+		out[i] = tr
+	}
+	return out, nil
+}
+
+// Store holds runtime information for many model-pattern pairs: the file
+// set produced by Phase 1.
+type Store struct {
+	byKey map[Key][]SampleTrace
+}
+
+// NewStore returns an empty Store.
+func NewStore() *Store { return &Store{byKey: map[Key][]SampleTrace{}} }
+
+// Add appends traces under the key.
+func (s *Store) Add(k Key, traces []SampleTrace) {
+	s.byKey[k] = append(s.byKey[k], traces...)
+}
+
+// Get returns the traces stored under the key (nil if absent).
+func (s *Store) Get(k Key) []SampleTrace { return s.byKey[k] }
+
+// Keys returns all stored keys (order unspecified).
+func (s *Store) Keys() []Key {
+	out := make([]Key, 0, len(s.byKey))
+	for k := range s.byKey {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Len returns the number of stored keys.
+func (s *Store) Len() int { return len(s.byKey) }

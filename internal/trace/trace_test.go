@@ -1,0 +1,248 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"sparsedysta/internal/accel/eyeriss"
+	"sparsedysta/internal/accel/sanger"
+	"sparsedysta/internal/models"
+	"sparsedysta/internal/sparsity"
+)
+
+func buildCNN(t *testing.T, samples int) (Key, []SampleTrace) {
+	t.Helper()
+	m := models.MobileNet()
+	traces, err := Build(eyeriss.NewDefault(), BuildConfig{
+		Model: m, Pattern: sparsity.RandomPointwise, WeightRate: 0.8,
+		Samples: samples, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Key{Model: m.Name, Pattern: sparsity.RandomPointwise}, traces
+}
+
+func TestBuildShapes(t *testing.T) {
+	m := models.MobileNet()
+	_, traces := buildCNN(t, 16)
+	if len(traces) != 16 {
+		t.Fatalf("got %d traces", len(traces))
+	}
+	for i, tr := range traces {
+		if tr.NumLayers() != m.NumLayers() {
+			t.Fatalf("trace %d has %d layers, want %d", i, tr.NumLayers(), m.NumLayers())
+		}
+		if tr.Total() <= 0 {
+			t.Fatalf("trace %d total latency %v", i, tr.Total())
+		}
+		for l, d := range tr.LayerLatency {
+			if d <= 0 {
+				t.Fatalf("trace %d layer %d latency %v", i, l, d)
+			}
+		}
+	}
+}
+
+func TestBuildIsDeterministic(t *testing.T) {
+	_, a := buildCNN(t, 5)
+	_, b := buildCNN(t, 5)
+	for i := range a {
+		for l := range a[i].LayerLatency {
+			if a[i].LayerLatency[l] != b[i].LayerLatency[l] {
+				t.Fatalf("trace %d layer %d latency differs", i, l)
+			}
+		}
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(eyeriss.NewDefault(), BuildConfig{Model: nil, Samples: 1}); err == nil {
+		t.Error("nil model accepted")
+	}
+	if _, err := Build(eyeriss.NewDefault(), BuildConfig{Model: models.MobileNet(), Samples: 0}); err == nil {
+		t.Error("zero samples accepted")
+	}
+	// Family mismatch: an AttNN on the CNN accelerator.
+	if _, err := Build(eyeriss.NewDefault(), BuildConfig{Model: models.BERTBase(), Samples: 1}); err == nil {
+		t.Error("family mismatch accepted")
+	}
+}
+
+func TestBuildAttNN(t *testing.T) {
+	m := models.BERTBase()
+	traces, err := Build(sanger.NewDefault(), BuildConfig{Model: m, Samples: 8, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-sample totals must vary: this is the dynamicity the paper's
+	// Fig. 2 profiles.
+	first := traces[0].Total()
+	varies := false
+	for _, tr := range traces[1:] {
+		if tr.Total() != first {
+			varies = true
+			break
+		}
+	}
+	if !varies {
+		t.Error("AttNN isolated latency identical across samples")
+	}
+}
+
+func TestRemaining(t *testing.T) {
+	tr := SampleTrace{LayerLatency: []time.Duration{10, 20, 30}}
+	if got := tr.Remaining(0); got != 60 {
+		t.Errorf("Remaining(0) = %v", got)
+	}
+	if got := tr.Remaining(2); got != 30 {
+		t.Errorf("Remaining(2) = %v", got)
+	}
+	if got := tr.Remaining(3); got != 0 {
+		t.Errorf("Remaining(3) = %v", got)
+	}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	k, traces := buildCNN(t, 4)
+	s := NewStore()
+	s.Add(k, traces[:2])
+	s.Add(k, traces[2:])
+	if got := len(s.Get(k)); got != 4 {
+		t.Errorf("store holds %d traces", got)
+	}
+	if s.Len() != 1 || len(s.Keys()) != 1 {
+		t.Errorf("store has %d keys", s.Len())
+	}
+	if s.Get(Key{Model: "nope"}) != nil {
+		t.Error("missing key returned traces")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	k := Key{Model: "m", Pattern: sparsity.Dense}
+	traces := []SampleTrace{
+		{LayerLatency: []time.Duration{100, 200}, LayerSparsity: []float64{0.2, 0.4}},
+		{LayerLatency: []time.Duration{300, 400}, LayerSparsity: []float64{0.4, 0.8}},
+	}
+	st, err := Summarize(k, traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.AvgTotal != 500 {
+		t.Errorf("AvgTotal = %v, want 500", st.AvgTotal)
+	}
+	if st.AvgLayerLatency[0] != 200 || st.AvgLayerLatency[1] != 300 {
+		t.Errorf("AvgLayerLatency = %v", st.AvgLayerLatency)
+	}
+	if math.Abs(st.AvgLayerSparsity[0]-0.3) > 1e-12 || math.Abs(st.AvgLayerSparsity[1]-0.6) > 1e-12 {
+		t.Errorf("AvgLayerSparsity = %v", st.AvgLayerSparsity)
+	}
+	if math.Abs(st.AvgNetworkSparsity-0.45) > 1e-12 {
+		t.Errorf("AvgNetworkSparsity = %v", st.AvgNetworkSparsity)
+	}
+	if st.AvgRemaining(0) != 500 || st.AvgRemaining(1) != 300 || st.AvgRemaining(2) != 0 {
+		t.Errorf("AvgRemaining wrong: %v %v %v",
+			st.AvgRemaining(0), st.AvgRemaining(1), st.AvgRemaining(2))
+	}
+	if st.AvgRemaining(-1) != 500 || st.AvgRemaining(99) != 0 {
+		t.Error("AvgRemaining bounds handling wrong")
+	}
+}
+
+func TestSummarizeErrors(t *testing.T) {
+	k := Key{Model: "m"}
+	if _, err := Summarize(k, nil); err == nil {
+		t.Error("empty traces accepted")
+	}
+	ragged := []SampleTrace{
+		{LayerLatency: []time.Duration{1}, LayerSparsity: []float64{0}},
+		{LayerLatency: []time.Duration{1, 2}, LayerSparsity: []float64{0, 0}},
+	}
+	if _, err := Summarize(k, ragged); err == nil {
+		t.Error("ragged traces accepted")
+	}
+}
+
+func TestStatsSet(t *testing.T) {
+	k, traces := buildCNN(t, 6)
+	s := NewStore()
+	s.Add(k, traces)
+	set, err := NewStatsSet(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Lookup(k) == nil {
+		t.Fatal("profiled key missing from stats set")
+	}
+	if set.Lookup(Key{Model: "nope"}) != nil {
+		t.Error("unknown key found")
+	}
+	if len(set.Keys()) != 1 {
+		t.Errorf("stats set has %d keys", len(set.Keys()))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustLookup on missing key did not panic")
+		}
+	}()
+	set.MustLookup(Key{Model: "nope"})
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	k, traces := buildCNN(t, 3)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, k, traces); err != nil {
+		t.Fatal(err)
+	}
+	gotKey, gotTraces, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotKey != k {
+		t.Errorf("key round trip: %v != %v", gotKey, k)
+	}
+	if len(gotTraces) != len(traces) {
+		t.Fatalf("trace count %d != %d", len(gotTraces), len(traces))
+	}
+	for i := range traces {
+		for l := range traces[i].LayerLatency {
+			if gotTraces[i].LayerLatency[l] != traces[i].LayerLatency[l] {
+				t.Fatalf("latency differs at sample %d layer %d", i, l)
+			}
+			if gotTraces[i].LayerSparsity[l] != traces[i].LayerSparsity[l] {
+				t.Fatalf("sparsity differs at sample %d layer %d", i, l)
+			}
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad header": "a,b,c,d,e,f\n",
+		"empty file": "model,pattern,sample,layer,latency_ns,sparsity\n",
+		"bad pattern": "model,pattern,sample,layer,latency_ns,sparsity\n" +
+			"m,wat,0,0,100,0.5\n",
+		"out of order": "model,pattern,sample,layer,latency_ns,sparsity\n" +
+			"m,dense,1,0,100,0.5\n",
+		"bad latency": "model,pattern,sample,layer,latency_ns,sparsity\n" +
+			"m,dense,0,0,xyz,0.5\n",
+		"mixed keys": "model,pattern,sample,layer,latency_ns,sparsity\n" +
+			"m,dense,0,0,100,0.5\nn,dense,1,0,100,0.5\n",
+	}
+	for name, data := range cases {
+		if _, _, err := ReadCSV(strings.NewReader(data)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestKeyString(t *testing.T) {
+	k := Key{Model: "bert", Pattern: sparsity.Dense}
+	if got := k.String(); got != "bert/dense" {
+		t.Errorf("Key.String() = %q", got)
+	}
+}
