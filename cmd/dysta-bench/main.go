@@ -25,12 +25,15 @@ import (
 
 func main() {
 	var (
-		expID    = flag.String("exp", "all", "experiment id (see -list), 'all', 'ablations', or 'everything'")
-		quick    = flag.Bool("quick", false, "use the reduced protocol (fewer seeds/requests)")
-		list     = flag.Bool("list", false, "list experiment ids and exit")
-		seeds    = flag.Int("seeds", 0, "override seed count (0 = protocol default)")
-		requests = flag.Int("requests", 0, "override request count (0 = protocol default)")
-		outDir   = flag.String("out", "", "also write each experiment's output to <dir>/<id>.txt")
+		expID     = flag.String("exp", "all", "experiment id (see -list), 'all', 'ablations', or 'everything'")
+		quick     = flag.Bool("quick", false, "use the reduced protocol (fewer seeds/requests)")
+		list      = flag.Bool("list", false, "list experiment ids and exit")
+		seeds     = flag.Int("seeds", 0, "override seed count (0 = protocol default)")
+		requests  = flag.Int("requests", 0, "override request count (0 = protocol default)")
+		workers   = flag.Int("workers", 0, "parallel simulation workers (0 = all cores, 1 = sequential)")
+		outDir    = flag.String("out", "", "also write each experiment's output to <dir>/<id>.txt")
+		benchJSON = flag.Bool("json", false,
+			"run the hot-path micro-benchmarks and write BENCH_<date>.json (to -out dir, or cwd)")
 	)
 	flag.Parse()
 
@@ -48,6 +51,18 @@ func main() {
 		return
 	}
 
+	if *benchJSON {
+		dir := *outDir
+		if dir == "" {
+			dir = "."
+		}
+		if err := writeBenchJSON(dir); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	opts := exp.DefaultOptions()
 	if *quick {
 		opts = exp.QuickOptions()
@@ -58,6 +73,7 @@ func main() {
 	if *requests > 0 {
 		opts.Requests = *requests
 	}
+	opts.Workers = *workers
 
 	ids := []string{*expID}
 	switch *expID {

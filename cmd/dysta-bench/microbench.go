@@ -1,0 +1,168 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"sparsedysta/internal/core"
+	"sparsedysta/internal/exp"
+	"sparsedysta/internal/sched"
+	"sparsedysta/internal/sparsity"
+	"sparsedysta/internal/trace"
+	"sparsedysta/internal/workload"
+)
+
+// This file is the perf-trajectory tooling behind the -json flag: it runs
+// the hot-path micro-benchmarks (the engine under each scheduler, one
+// predictor step, a parallel grid) through testing.Benchmark and writes
+// the results to BENCH_<date>.json, so successive PRs can diff ns/op
+// machine-readably instead of eyeballing `go test -bench` output.
+
+// BenchRecord is one benchmark's machine-readable result.
+type BenchRecord struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// BenchReport is the file-level schema of BENCH_<date>.json.
+type BenchReport struct {
+	Date       string        `json:"date"`
+	GoVersion  string        `json:"go_version"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Results    []BenchRecord `json:"results"`
+}
+
+// microWorkload builds the shared AttNN pipeline and request stream
+// (mirrors the fixture of the root bench_test.go micro-benchmarks).
+func microWorkload() (*trace.StatsSet, []*workload.Request, error) {
+	sc := workload.MultiAttNN()
+	prof, eval, err := workload.BuildStores(sc, 30, 100, 1)
+	if err != nil {
+		return nil, nil, err
+	}
+	lut, err := trace.NewStatsSet(prof)
+	if err != nil {
+		return nil, nil, err
+	}
+	reqs, err := workload.Generate(sc, eval, workload.GenConfig{
+		Requests: 500, RatePerSec: 30, SLOMultiplier: 10, Seed: 1})
+	if err != nil {
+		return nil, nil, err
+	}
+	return lut, reqs, nil
+}
+
+// runMicroBenchmarks executes the hot-path suite and returns the records.
+func runMicroBenchmarks() ([]BenchRecord, error) {
+	lut, reqs, err := microWorkload()
+	if err != nil {
+		return nil, err
+	}
+	est := sched.NewEstimator(lut)
+
+	engineBench := func(mk func() sched.Scheduler) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sched.Run(mk(), reqs, sched.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+
+	benches := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"EngineFCFS", engineBench(func() sched.Scheduler { return sched.NewFCFS() })},
+		{"EngineSJF", engineBench(func() sched.Scheduler { return sched.NewSJF(est) })},
+		{"EngineDysta", engineBench(func() sched.Scheduler { return core.NewDefault(lut) })},
+		{"EngineDystaReference", func(b *testing.B) {
+			// The pre-rearchitecture scoring path, kept as the baseline
+			// the incremental path is measured against.
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sched.Run(core.NewDefault(lut), reqs,
+					sched.Options{ReferencePick: true}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"EngineOracle", engineBench(func() sched.Scheduler { return sched.NewOracle(core.DefaultConfig().Eta) })},
+		{"PredictorStep", func(b *testing.B) {
+			st := lut.MustLookup(trace.Key{Model: "bert", Pattern: sparsity.Dense})
+			p := core.NewPredictor(core.DefaultConfig(), st)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				layer := i % (st.NumLayers() - 1)
+				p.Observe(layer, 0.9)
+				_ = p.Remaining(layer + 1)
+			}
+		}},
+		{"RunPointParallel", func(b *testing.B) {
+			opts := exp.QuickOptions()
+			p, err := exp.NewPipeline(workload.MultiAttNN(), opts, 7)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.RunPoint(exp.StandardScheds(), 30, 10, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}
+
+	records := make([]BenchRecord, 0, len(benches))
+	for _, bench := range benches {
+		r := testing.Benchmark(bench.fn)
+		records = append(records, BenchRecord{
+			Name:        bench.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+		fmt.Printf("%-22s %12.0f ns/op %10d B/op %8d allocs/op\n",
+			bench.name, records[len(records)-1].NsPerOp,
+			r.AllocedBytesPerOp(), r.AllocsPerOp())
+	}
+	return records, nil
+}
+
+// writeBenchJSON runs the suite and writes BENCH_<date>.json into dir.
+func writeBenchJSON(dir string) error {
+	records, err := runMicroBenchmarks()
+	if err != nil {
+		return err
+	}
+	report := BenchReport{
+		Date:       time.Now().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Results:    records,
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := fmt.Sprintf("%s/BENCH_%s.json", dir, report.Date)
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}

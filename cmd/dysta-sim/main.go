@@ -32,6 +32,7 @@ func main() {
 		seeds    = flag.Int("seeds", 5, "seeds to average")
 		profileN = flag.Int("profile-samples", 100, "offline profiling samples per model-pattern pair")
 		evalN    = flag.Int("eval-samples", 400, "evaluation trace pool per model-pattern pair")
+		workers  = flag.Int("workers", 0, "parallel simulation workers (0 = all cores, 1 = sequential)")
 		eta      = flag.Float64("eta", core.DefaultConfig().Eta, "Dysta eta (dynamic slack weight)")
 		beta     = flag.Float64("beta", core.DefaultConfig().Beta, "Dysta beta (static slack weight)")
 		dumpSpec = flag.Bool("dump-spec", false, "print the selected scenario as a JSON spec and exit")
@@ -80,6 +81,7 @@ func main() {
 		Requests:       *requests,
 		ProfileSamples: *profileN,
 		EvalSamples:    *evalN,
+		Workers:        *workers,
 	}
 	p, err := exp.NewPipeline(sc, opts, 7)
 	if err != nil {

@@ -1,0 +1,3 @@
+module sparsedysta
+
+go 1.24

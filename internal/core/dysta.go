@@ -9,14 +9,21 @@ import (
 
 // Dysta is the bi-level scheduler (paper §4.2). It implements
 // sched.Scheduler; construct it with New and run it under sched.Run.
+//
+// Per-request state lives in a task attachment set at arrival, and the
+// score components that only change at task events — the predictor's
+// refined remaining latency and isolated estimate — are cached there, so
+// a scheduling decision is a scan of cheap float arithmetic with no map
+// lookups and no predictor evaluations (the IncrementalScheduler fast
+// path). The reference PickNext recomputes everything from the predictor
+// and must agree bit-for-bit; the equivalence tests enforce this.
 type Dysta struct {
 	cfg Config
 	lut *trace.StatsSet
-	// state tracks per-request runtime information keyed by task ID.
-	state map[int]*requestState
 }
 
-// requestState is the per-request bookkeeping of the dynamic level.
+// requestState is the per-request bookkeeping of the dynamic level,
+// attached to the task at arrival.
 type requestState struct {
 	// staticScore is the arrival-time score of the static level (Alg. 1),
 	// in milliseconds. It fully determines ordering when the dynamic
@@ -24,6 +31,11 @@ type requestState struct {
 	staticScore float64
 	// pred refines remaining-latency estimates from monitored sparsity.
 	pred *Predictor
+	// remainMS and isolMS cache ms(pred.Remaining(NextLayer)) and
+	// ms(pred.Isolated()): they change only when the request executes a
+	// layer (NextLayer advances and the predictor observes), so refresh
+	// happens there rather than at every scheduling decision.
+	remainMS, isolMS float64
 }
 
 // New returns a Dysta scheduler over the profiling LUT. It panics on an
@@ -32,7 +44,7 @@ func New(cfg Config, lut *trace.StatsSet) *Dysta {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	return &Dysta{cfg: cfg, lut: lut, state: map[int]*requestState{}}
+	return &Dysta{cfg: cfg, lut: lut}
 }
 
 // NewDefault returns Dysta with DefaultConfig.
@@ -54,6 +66,19 @@ func (d *Dysta) Name() string {
 // Config returns the scheduler's configuration.
 func (d *Dysta) Config() Config { return d.cfg }
 
+// state returns the task's attachment, or nil for a task the scheduler
+// never saw arrive.
+func state(t *sched.Task) *requestState {
+	s, _ := t.Attachment.(*requestState)
+	return s
+}
+
+// refresh re-derives the cached score components from the predictor.
+func (s *requestState) refresh(t *sched.Task) {
+	s.remainMS = ms(s.pred.Remaining(t.NextLayer))
+	s.isolMS = ms(s.pred.Isolated())
+}
+
 // OnArrival implements sched.Scheduler: the static level (Alg. 1).
 // Lat_n is the LUT's average latency for the model-pattern pair — the
 // pattern-aware estimate of line 5 — and the score is
@@ -62,29 +87,37 @@ func (d *Dysta) OnArrival(t *sched.Task, _ time.Duration) {
 	st := d.lut.MustLookup(t.Key)
 	lat := ms(st.AvgTotal)
 	slack := ms(t.SLO) - lat
-	d.state[t.ID] = &requestState{
+	s := &requestState{
 		staticScore: lat + d.cfg.Beta*slack,
 		pred:        NewPredictor(d.cfg, st),
 	}
+	s.refresh(t)
+	t.Attachment = s
 }
 
 // OnLayerComplete implements sched.Scheduler: the hardware monitor's
 // sparsity reading feeds the request's sparse latency predictor (Alg. 2
-// line 7, Alg. 3).
+// line 7, Alg. 3), and the cached score components are re-derived. A
+// completed request's state is released.
 func (d *Dysta) OnLayerComplete(t *sched.Task, layer int, monitored float64, _ time.Duration) {
 	if t.Done {
-		delete(d.state, t.ID)
+		t.Attachment = nil
 		return
 	}
-	if s := d.state[t.ID]; s != nil && d.cfg.DynamicEnabled {
-		s.pred.Observe(layer, monitored)
+	if s := state(t); s != nil {
+		if d.cfg.DynamicEnabled {
+			s.pred.Observe(layer, monitored)
+		}
+		s.refresh(t)
 	}
 }
 
 // PickNext implements sched.Scheduler: the dynamic level (Alg. 2). Every
 // queued request is re-scored with its refined remaining time, slack and
 // preemption penalty; the minimum score runs next. With the dynamic level
-// disabled, arrival-time static scores order the queue instead.
+// disabled, arrival-time static scores order the queue instead. This is
+// the reference implementation: it evaluates the predictor from scratch
+// for every task.
 func (d *Dysta) PickNext(ready []*sched.Task, now time.Duration) *sched.Task {
 	best := ready[0]
 	bestScore := d.score(best, now, len(ready))
@@ -96,9 +129,53 @@ func (d *Dysta) PickNext(ready []*sched.Task, now time.Duration) *sched.Task {
 	return best
 }
 
-// score computes the request's current score in milliseconds.
+// PickNextIncremental implements sched.IncrementalScheduler: the same
+// argmin as PickNext, computed from the cached score components.
+func (d *Dysta) PickNextIncremental(q *sched.ReadyQueue, now time.Duration) *sched.Task {
+	tasks := q.Tasks()
+	queueLen := float64(len(tasks))
+	var best *sched.Task
+	var bestScore float64
+	for _, t := range tasks {
+		sc := d.cachedScore(t, now, queueLen)
+		if best == nil || sc < bestScore || (sc == bestScore && t.ID < best.ID) {
+			best, bestScore = t, sc
+		}
+	}
+	return best
+}
+
+// cachedScore is the fast-path score: identical arithmetic to score, with
+// the predictor-derived terms read from the attachment cache.
+func (d *Dysta) cachedScore(t *sched.Task, now time.Duration, queueLen float64) float64 {
+	s := state(t)
+	if s == nil {
+		return 1e18
+	}
+	if !d.cfg.DynamicEnabled {
+		return s.staticScore
+	}
+	remain := s.remainMS
+	slack := ms(t.Deadline()-now) - remain
+	demotion := 0.0
+	if slack < 0 {
+		slack = 0
+		demotion = d.cfg.DemotionMS
+	}
+	penalty := 0.0
+	if s.isolMS > 0 && queueLen > 0 {
+		penalty = (ms(t.SinceLastRun(now)) / s.isolMS) / queueLen * d.cfg.PenaltyWeight
+	}
+	return remain + d.cfg.Eta*(slack+penalty) + demotion
+}
+
+// score computes the request's current score in milliseconds from
+// scratch (Alg. 2 lines 7-11). Negative slack is clamped to zero so a
+// task that can no longer meet its deadline competes on remaining time
+// instead of hijacking the queue (the EDF overload pathology); the clamp
+// is a documented refinement of the literal Alg. 2 (see DESIGN.md §6).
 func (d *Dysta) score(t *sched.Task, now time.Duration, queueLen int) float64 {
-	s := d.state[t.ID]
+	s := state(t)
 	if s == nil {
 		// Defensive: a task the scheduler never saw arrive sorts last.
 		return 1e18
@@ -106,10 +183,6 @@ func (d *Dysta) score(t *sched.Task, now time.Duration, queueLen int) float64 {
 	if !d.cfg.DynamicEnabled {
 		return s.staticScore
 	}
-	// Alg. 2 lines 7-11. Negative slack is clamped to zero so a task that
-	// can no longer meet its deadline competes on remaining time instead
-	// of hijacking the queue (the EDF overload pathology); the clamp is a
-	// documented refinement of the literal Alg. 2 (see DESIGN.md §6).
 	remain := ms(s.pred.Remaining(t.NextLayer))
 	slack := ms(t.Deadline()-now) - remain
 	demotion := 0.0
@@ -129,4 +202,4 @@ func (d *Dysta) score(t *sched.Task, now time.Duration, queueLen int) float64 {
 // the FP16 operand scale of the hardware implementation).
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 
-var _ sched.Scheduler = (*Dysta)(nil)
+var _ sched.IncrementalScheduler = (*Dysta)(nil)

@@ -29,19 +29,32 @@ import (
 type Predictor struct {
 	cfg   Config
 	stats *trace.Stats
-	// ratios holds the per-layer monitored/average ratios of executed
-	// layers, in execution order.
-	ratios []float64
+	// gamma is the current coefficient under the configured strategy,
+	// maintained incrementally by Observe so Gamma — and therefore every
+	// score the scheduler computes — is O(1) regardless of how many
+	// layers have executed.
+	gamma float64
+	// count is the number of observed layers.
+	count int
+	// sum is the running sum of all ratios (AverageAll). Ratios are
+	// accumulated in execution order, so the mean is bit-identical to a
+	// from-scratch summation over the history.
+	sum float64
+	// window is a chronological ring buffer of the last cfg.N ratios
+	// (LastN only; allocated lazily), with wpos the slot the next ratio
+	// overwrites — i.e. the oldest entry once the window has filled.
+	window []float64
+	wpos   int
 }
 
 // NewPredictor returns a Predictor over the LUT entry for the request's
 // model-pattern pair.
 func NewPredictor(cfg Config, st *trace.Stats) *Predictor {
-	return &Predictor{cfg: cfg, stats: st}
+	return &Predictor{cfg: cfg, stats: st, gamma: 1}
 }
 
 // Observe records the hardware monitor's sparsity reading for a completed
-// layer.
+// layer and folds it into the running gamma aggregate (Alg. 3 line 6).
 func (p *Predictor) Observe(layer int, monitored float64) {
 	avg := p.stats.AvgLayerSparsity[layer]
 	var ratio float64
@@ -51,7 +64,35 @@ func (p *Predictor) Observe(layer int, monitored float64) {
 	default: // SparsityRatio, the paper's Alg. 3 line 6
 		ratio = safeRatio(monitored, avg, p.cfg.GammaClamp)
 	}
-	p.ratios = append(p.ratios, ratio)
+	p.count++
+	switch p.cfg.Strategy {
+	case AverageAll:
+		p.sum += ratio
+		p.gamma = p.sum / float64(p.count)
+	case LastN:
+		if p.window == nil {
+			p.window = make([]float64, p.cfg.N)
+		}
+		p.window[p.wpos] = ratio
+		p.wpos = (p.wpos + 1) % p.cfg.N
+		// Mean over the window in chronological order: once full, the
+		// oldest entry sits at wpos.
+		n := p.count
+		if n > p.cfg.N {
+			n = p.cfg.N
+		}
+		start := 0
+		if p.count >= p.cfg.N {
+			start = p.wpos
+		}
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += p.window[(start+i)%p.cfg.N]
+		}
+		p.gamma = sum / float64(n)
+	default: // LastOne
+		p.gamma = ratio
+	}
 }
 
 // safeRatio returns num/den clamped to [1/clamp, clamp], treating a
@@ -64,24 +105,9 @@ func safeRatio(num, den, clamp float64) float64 {
 }
 
 // Gamma returns the current sparsity coefficient under the configured
-// strategy; 1 before any observation.
-func (p *Predictor) Gamma() float64 {
-	if len(p.ratios) == 0 {
-		return 1
-	}
-	switch p.cfg.Strategy {
-	case AverageAll:
-		return stats.Mean(p.ratios)
-	case LastN:
-		n := p.cfg.N
-		if n > len(p.ratios) {
-			n = len(p.ratios)
-		}
-		return stats.Mean(p.ratios[len(p.ratios)-n:])
-	default: // LastOne
-		return p.ratios[len(p.ratios)-1]
-	}
-}
+// strategy; 1 before any observation. O(1): the aggregate is maintained
+// by Observe.
+func (p *Predictor) Gamma() float64 { return p.gamma }
 
 // predict maps the current gamma through the linear latency model for the
 // given base latency and sensitivity (or scales the base proportionally
@@ -125,7 +151,7 @@ func (p *Predictor) sensitivity(from int) float64 {
 }
 
 // Observations returns how many layers have been observed.
-func (p *Predictor) Observations() int { return len(p.ratios) }
+func (p *Predictor) Observations() int { return p.count }
 
 // PredictorError quantifies one prediction-vs-truth comparison of the
 // Table 4 evaluation.

@@ -36,15 +36,20 @@ func runDystaVariants(sc workload.Scenario, rate float64, opts Options,
 	tbl := &Table{
 		Columns: []string{"variant", "ANTT", "viol%", "preemptions"},
 	}
-	for _, row := range rows {
+	// All variants go into one grid point so the (variant, seed) cells
+	// fan out over the parallel runner together.
+	specs := make([]SchedSpec, len(rows))
+	for i, row := range rows {
 		cfg := row.cfg
-		spec := []SchedSpec{{Name: row.label, New: func(p *Pipeline) sched.Scheduler {
+		specs[i] = SchedSpec{Name: row.label, New: func(p *Pipeline) sched.Scheduler {
 			return core.New(cfg, p.LUT)
-		}}}
-		rs, err := p.RunPoint(spec, rate, 10, opts)
-		if err != nil {
-			return nil, err
-		}
+		}}
+	}
+	rs, err := p.RunPoint(specs, rate, 10, opts)
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
 		r := rs[row.label]
 		tbl.Rows = append(tbl.Rows, []string{
 			row.label,

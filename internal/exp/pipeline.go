@@ -1,8 +1,6 @@
 package exp
 
 import (
-	"fmt"
-
 	"sparsedysta/internal/core"
 	"sparsedysta/internal/sched"
 	"sparsedysta/internal/trace"
@@ -23,6 +21,10 @@ type Options struct {
 	// DatasetSamples sizes the profiling experiments (Figs. 2-4, 9,
 	// Tables 2 and 4).
 	DatasetSamples int
+	// Workers bounds the worker pool of the parallel grid runner
+	// (RunGrid/RunPoint). 0 means GOMAXPROCS; 1 forces sequential
+	// execution. Results are bit-identical for any value.
+	Workers int
 }
 
 // DefaultOptions returns the paper-scale protocol.
@@ -102,22 +104,15 @@ func WithOracle(specs []SchedSpec) []SchedSpec {
 }
 
 // RunSeeds evaluates one scheduler at one (rate, SLO-multiplier)
-// operating point, returning the per-seed results.
+// operating point, returning the per-seed results. This is the sequential
+// reference path; the parallel RunGrid/RunPoint must produce bit-identical
+// aggregates (see runner_test.go).
 func (p *Pipeline) RunSeeds(spec SchedSpec, rate, mslo float64, opts Options) ([]sched.Result, error) {
-	var rs []sched.Result
+	rs := make([]sched.Result, 0, opts.Seeds)
 	for s := 0; s < opts.Seeds; s++ {
-		reqs, err := workload.Generate(p.Scenario, p.Eval, workload.GenConfig{
-			Requests:      opts.Requests,
-			RatePerSec:    rate,
-			SLOMultiplier: mslo,
-			Seed:          uint64(1000*s) + 17,
-		})
+		res, err := p.runCell(spec, Point{Rate: rate, MSLO: mslo}, s, opts)
 		if err != nil {
-			return nil, fmt.Errorf("exp: generating %s workload: %w", p.Scenario.Name, err)
-		}
-		res, err := sched.Run(spec.New(p), reqs, sched.Options{})
-		if err != nil {
-			return nil, fmt.Errorf("exp: running %s: %w", spec.Name, err)
+			return nil, err
 		}
 		rs = append(rs, res)
 	}
@@ -126,19 +121,14 @@ func (p *Pipeline) RunSeeds(spec SchedSpec, rate, mslo float64, opts Options) ([
 
 // RunPoint evaluates every scheduler at one (rate, SLO-multiplier)
 // operating point, averaging over opts.Seeds seeds, and returns results
-// keyed by scheduler name.
+// keyed by scheduler name. The (scheduler, seed) cells fan out over the
+// parallel grid runner.
 func (p *Pipeline) RunPoint(specs []SchedSpec, rate, mslo float64, opts Options) (map[string]sched.Result, error) {
-	out := map[string]sched.Result{}
-	for _, spec := range specs {
-		rs, err := p.RunSeeds(spec, rate, mslo, opts)
-		if err != nil {
-			return nil, err
-		}
-		avg := sched.AverageResults(rs)
-		avg.Scheduler = spec.Name
-		out[spec.Name] = avg
+	grid, err := p.RunGrid(specs, []Point{{Rate: rate, MSLO: mslo}}, opts)
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return grid[0].Results, nil
 }
 
 // AttNNRates and CNNRates are the paper's operating points (§6.2, §6.4).

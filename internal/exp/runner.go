@@ -1,0 +1,156 @@
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"sparsedysta/internal/sched"
+	"sparsedysta/internal/workload"
+)
+
+// This file is the parallel experiment runner: evaluation grids fan out
+// over a worker pool, one goroutine-safe simulation cell per
+// (operating point, scheduler, seed), and results merge back in
+// deterministic order. Every stochastic input of a cell derives from its
+// seed index alone (cellSeed), so a grid's output is bit-identical to the
+// sequential reference path (RunSeeds + AverageResults) regardless of
+// worker count or completion order — the determinism test in
+// runner_test.go enforces this.
+
+// Point is one operating point of an evaluation grid: an arrival rate and
+// an SLO multiplier.
+type Point struct {
+	Rate float64
+	MSLO float64
+}
+
+// PointResult pairs an operating point with its per-scheduler results,
+// each averaged over the run's seeds.
+type PointResult struct {
+	Point   Point
+	Results map[string]sched.Result
+}
+
+// cellSeed derives the workload RNG seed for one seed index, shared by
+// the sequential and parallel paths (the paper's five-seed protocol).
+func cellSeed(seed int) uint64 { return uint64(1000*seed) + 17 }
+
+// runCell executes one simulation cell: generate the request stream for
+// the seed index and run one fresh scheduler instance over it.
+func (p *Pipeline) runCell(spec SchedSpec, pt Point, seed int, opts Options) (sched.Result, error) {
+	reqs, err := workload.Generate(p.Scenario, p.Eval, workload.GenConfig{
+		Requests:      opts.Requests,
+		RatePerSec:    pt.Rate,
+		SLOMultiplier: pt.MSLO,
+		Seed:          cellSeed(seed),
+	})
+	if err != nil {
+		return sched.Result{}, fmt.Errorf("exp: generating %s workload: %w", p.Scenario.Name, err)
+	}
+	res, err := sched.Run(spec.New(p), reqs, sched.Options{})
+	if err != nil {
+		return sched.Result{}, fmt.Errorf("exp: running %s: %w", spec.Name, err)
+	}
+	return res, nil
+}
+
+// RunGrid evaluates every scheduler at every operating point, averaging
+// over opts.Seeds seeds per cell. Cells run concurrently on
+// opts.Workers goroutines (default: GOMAXPROCS); the returned slice is
+// ordered as `points` and each map is keyed by scheduler name. The
+// pipeline's stores, LUT and estimator are shared read-only across
+// workers; each cell gets a fresh request stream and scheduler instance.
+func (p *Pipeline) RunGrid(specs []SchedSpec, points []Point, opts Options) ([]PointResult, error) {
+	type cell struct{ pi, si, seed int }
+	if opts.Seeds <= 0 {
+		return nil, fmt.Errorf("exp: RunGrid with %d seeds", opts.Seeds)
+	}
+
+	// Per-cell result slots are preallocated so workers write disjoint
+	// memory and the merge below reads them in deterministic order.
+	results := make([][][]sched.Result, len(points))
+	for pi := range results {
+		results[pi] = make([][]sched.Result, len(specs))
+		for si := range results[pi] {
+			results[pi][si] = make([]sched.Result, opts.Seeds)
+		}
+	}
+
+	total := len(points) * len(specs) * opts.Seeds
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > total {
+		workers = total
+	}
+
+	jobs := make(chan cell)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	setErr := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	failed := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return firstErr != nil
+	}
+
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for c := range jobs {
+				if failed() {
+					continue // drain remaining jobs after a failure
+				}
+				res, err := p.runCell(specs[c.si], points[c.pi], c.seed, opts)
+				if err != nil {
+					setErr(err)
+					continue
+				}
+				results[c.pi][c.si][c.seed] = res
+			}
+		}()
+	}
+	for pi := range points {
+		for si := range specs {
+			for s := 0; s < opts.Seeds; s++ {
+				jobs <- cell{pi, si, s}
+			}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	out := make([]PointResult, len(points))
+	for pi, pt := range points {
+		m := make(map[string]sched.Result, len(specs))
+		for si, spec := range specs {
+			avg := sched.AverageResults(results[pi][si])
+			avg.Scheduler = spec.Name
+			m[spec.Name] = avg
+		}
+		out[pi] = PointResult{Point: pt, Results: m}
+	}
+	return out, nil
+}
+
+// RatePoints builds a grid over arrival rates at one SLO multiplier.
+func RatePoints(rates []float64, mslo float64) []Point {
+	pts := make([]Point, len(rates))
+	for i, r := range rates {
+		pts[i] = Point{Rate: r, MSLO: mslo}
+	}
+	return pts
+}

@@ -104,18 +104,18 @@ func Fig12(opts Options) ([]Artifact, error) {
 		if err != nil {
 			return nil, err
 		}
-		for _, rate := range setup.rates {
-			rs, err := p.RunPoint(StandardScheds(), rate, 10, opts)
-			if err != nil {
-				return nil, err
-			}
+		grid, err := p.RunGrid(StandardScheds(), RatePoints(setup.rates, 10), opts)
+		if err != nil {
+			return nil, err
+		}
+		for _, pr := range grid {
 			tbl := &Table{
 				ID:      "fig12",
-				Title:   fmt.Sprintf("%s at %.0f req/s: violation rate vs ANTT", setup.sc.Name, rate),
+				Title:   fmt.Sprintf("%s at %.0f req/s: violation rate vs ANTT", setup.sc.Name, pr.Point.Rate),
 				Columns: []string{"scheduler", "viol%", "ANTT"},
 			}
 			for _, spec := range StandardScheds() {
-				r := rs[spec.Name]
+				r := pr.Results[spec.Name]
 				tbl.Rows = append(tbl.Rows, []string{
 					spec.Name,
 					fmt.Sprintf("%.1f", 100*r.ViolationRate),
@@ -194,7 +194,19 @@ func Fig14(opts Options) ([]Artifact, error) {
 			return nil, err
 		}
 		specs := WithOracle(StandardScheds())
+		// One grid per scenario: rates x SLO multipliers, all cells in
+		// flight at once.
+		var points []Point
 		for _, rate := range setup.rates {
+			for _, mslo := range SLOMultipliers {
+				points = append(points, Point{Rate: rate, MSLO: mslo})
+			}
+		}
+		grid, err := p.RunGrid(specs, points, opts)
+		if err != nil {
+			return nil, err
+		}
+		for ri, rate := range setup.rates {
 			viol := &Series{
 				ID:     "fig14",
 				Title:  fmt.Sprintf("%s at %.0f req/s", setup.sc.Name, rate),
@@ -213,11 +225,8 @@ func Fig14(opts Options) ([]Artifact, error) {
 				Lines:  map[string][]float64{},
 				Order:  specNames(specs),
 			}
-			for _, mslo := range SLOMultipliers {
-				rs, err := p.RunPoint(specs, rate, mslo, opts)
-				if err != nil {
-					return nil, err
-				}
+			for mi := range SLOMultipliers {
+				rs := grid[ri*len(SLOMultipliers)+mi].Results
 				for _, spec := range specs {
 					r := rs[spec.Name]
 					viol.Lines[spec.Name] = append(viol.Lines[spec.Name], 100*r.ViolationRate)
@@ -259,13 +268,13 @@ func Fig15(opts Options) ([]Artifact, error) {
 			}
 		}
 		viol, stp, antt := mk("SLO violation rate (%)"), mk("throughput (inf/s)"), mk("ANTT")
-		for _, rate := range setup.rates {
-			rs, err := p.RunPoint(specs, rate, 10, opts)
-			if err != nil {
-				return nil, err
-			}
+		grid, err := p.RunGrid(specs, RatePoints(setup.rates, 10), opts)
+		if err != nil {
+			return nil, err
+		}
+		for _, pr := range grid {
 			for _, spec := range specs {
-				r := rs[spec.Name]
+				r := pr.Results[spec.Name]
 				viol.Lines[spec.Name] = append(viol.Lines[spec.Name], 100*r.ViolationRate)
 				stp.Lines[spec.Name] = append(stp.Lines[spec.Name], r.Throughput)
 				antt.Lines[spec.Name] = append(antt.Lines[spec.Name], r.ANTT)

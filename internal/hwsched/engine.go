@@ -199,7 +199,11 @@ func (e *Engine) PickNext(ready []*sched.Task, now time.Duration) *sched.Task {
 	best := ready[0]
 	bestScore := e.score(best, now, len(ready))
 	for _, t := range ready[1:] {
-		if sc := e.score(t, now, len(ready)); sc < bestScore {
+		// Ties break by task ID so the decision is independent of the
+		// ready queue's (unspecified) iteration order; the FP16 rounding
+		// of the score datapath makes exact ties likelier than in the
+		// float64 reference.
+		if sc := e.score(t, now, len(ready)); sc < bestScore || (sc == bestScore && t.ID < best.ID) {
 			best, bestScore = t, sc
 		}
 	}

@@ -16,27 +16,33 @@ import (
 // Table 1 ascribes to the status-quo schedulers ("Pattern Aware: no").
 // Dysta's LUT (trace.StatsSet used directly in internal/core) keys by
 // model-pattern pair instead.
+//
+// All merges are computed eagerly at construction, so an Estimator is
+// immutable afterwards and safe to share across concurrently running
+// simulations (the parallel experiment runner relies on this).
 type Estimator struct {
 	set *trace.StatsSet
-	// byModel caches the pattern-blind merge per model.
+	// byModel holds the pattern-blind merge per model.
 	byModel map[string]*trace.Stats
 }
 
 // NewEstimator returns a pattern-blind Estimator over the profiling LUT.
 func NewEstimator(set *trace.StatsSet) *Estimator {
-	return &Estimator{set: set, byModel: map[string]*trace.Stats{}}
+	e := &Estimator{set: set, byModel: map[string]*trace.Stats{}}
+	for _, k := range set.Keys() {
+		if _, ok := e.byModel[k.Model]; !ok {
+			e.byModel[k.Model] = set.MergedByModel(k.Model)
+		}
+	}
+	return e
 }
 
 // stats returns the pattern-blind profile for the task's model.
 func (e *Estimator) stats(t *Task) *trace.Stats {
-	if st, ok := e.byModel[t.Key.Model]; ok {
-		return st
-	}
-	st := e.set.MergedByModel(t.Key.Model)
-	if st == nil {
+	st, ok := e.byModel[t.Key.Model]
+	if !ok {
 		panic("sched: no profiling stats for model " + t.Key.Model)
 	}
-	e.byModel[t.Key.Model] = st
 	return st
 }
 
@@ -52,23 +58,44 @@ func (e *Estimator) Remaining(t *Task) time.Duration {
 	return e.stats(t).AvgRemaining(t.NextLayer)
 }
 
+// estStats reads the profile a baseline attached at arrival, falling back
+// to the estimator lookup for tasks the scheduler never saw arrive.
+func estStats(e *Estimator, t *Task) *trace.Stats {
+	if st, ok := t.Attachment.(*trace.Stats); ok {
+		return st
+	}
+	return e.stats(t)
+}
+
 // FCFS is First-Come First-Served: non-preemptive in effect, since the
-// earliest arrival stays the minimum until it finishes.
-type FCFS struct{}
+// earliest arrival stays the minimum until it finishes. The incremental
+// path keeps the ready set in a min-heap keyed by (arrival, ID).
+type FCFS struct {
+	h *TaskHeap
+}
 
 // NewFCFS returns the FCFS baseline.
-func NewFCFS() *FCFS { return &FCFS{} }
+func NewFCFS() *FCFS {
+	return &FCFS{h: NewTaskHeap(func(a, b *Task) bool {
+		return a.Arrival < b.Arrival || (a.Arrival == b.Arrival && a.ID < b.ID)
+	})}
+}
 
 // Name implements Scheduler.
 func (*FCFS) Name() string { return "FCFS" }
 
 // OnArrival implements Scheduler.
-func (*FCFS) OnArrival(*Task, time.Duration) {}
+func (f *FCFS) OnArrival(t *Task, _ time.Duration) { f.h.Push(t) }
 
 // OnLayerComplete implements Scheduler.
-func (*FCFS) OnLayerComplete(*Task, int, float64, time.Duration) {}
+func (f *FCFS) OnLayerComplete(t *Task, _ int, _ float64, _ time.Duration) {
+	if t.Done {
+		f.h.Remove(t)
+	}
+}
 
-// PickNext implements Scheduler: earliest arrival, ties by ID.
+// PickNext implements Scheduler: earliest arrival, ties by ID (the
+// reference linear scan).
 func (*FCFS) PickNext(ready []*Task, _ time.Duration) *Task {
 	best := ready[0]
 	for _, t := range ready[1:] {
@@ -79,26 +106,56 @@ func (*FCFS) PickNext(ready []*Task, _ time.Duration) *Task {
 	return best
 }
 
+// PickNextIncremental implements IncrementalScheduler: the heap minimum.
+func (f *FCFS) PickNextIncremental(*ReadyQueue, time.Duration) *Task { return f.h.Min() }
+
 // SJF is preemptive Shortest-Job First on profiled average remaining time
 // — the "traditional heuristic" of paper §2.3.3, whose latency estimate
-// ignores per-sample sparsity (Fig. 5a).
+// ignores per-sample sparsity (Fig. 5a). The incremental path keeps a
+// min-heap on (remaining, ID); a task's key only changes when it executes
+// a layer, so one Fix per layer completion maintains the order.
 type SJF struct {
 	est *Estimator
+	h   *TaskHeap
 }
 
 // NewSJF returns the SJF baseline.
-func NewSJF(est *Estimator) *SJF { return &SJF{est: est} }
+func NewSJF(est *Estimator) *SJF {
+	s := &SJF{est: est}
+	s.h = NewTaskHeap(func(a, b *Task) bool {
+		ra, rb := s.remaining(a), s.remaining(b)
+		return ra < rb || (ra == rb && a.ID < b.ID)
+	})
+	return s
+}
+
+// remaining reads the profile attached at arrival (O(1), no model lookup).
+func (s *SJF) remaining(t *Task) time.Duration {
+	return estStats(s.est, t).AvgRemaining(t.NextLayer)
+}
 
 // Name implements Scheduler.
 func (*SJF) Name() string { return "SJF" }
 
 // OnArrival implements Scheduler.
-func (*SJF) OnArrival(*Task, time.Duration) {}
+func (s *SJF) OnArrival(t *Task, _ time.Duration) {
+	t.Attachment = s.est.stats(t)
+	s.h.Push(t)
+}
 
-// OnLayerComplete implements Scheduler.
-func (*SJF) OnLayerComplete(*Task, int, float64, time.Duration) {}
+// OnLayerComplete implements Scheduler: the executed task's remaining
+// estimate shrank, so its heap position is repaired (or released).
+func (s *SJF) OnLayerComplete(t *Task, _ int, _ float64, _ time.Duration) {
+	if t.Done {
+		s.h.Remove(t)
+		t.Attachment = nil
+		return
+	}
+	s.h.Fix(t)
+}
 
-// PickNext implements Scheduler: minimum estimated remaining time.
+// PickNext implements Scheduler: minimum estimated remaining time (the
+// reference linear scan).
 func (s *SJF) PickNext(ready []*Task, _ time.Duration) *Task {
 	best := ready[0]
 	bestRem := s.est.Remaining(best)
@@ -109,6 +166,9 @@ func (s *SJF) PickNext(ready []*Task, _ time.Duration) *Task {
 	}
 	return best
 }
+
+// PickNextIncremental implements IncrementalScheduler: the heap minimum.
+func (s *SJF) PickNextIncremental(*ReadyQueue, time.Duration) *Task { return s.h.Min() }
 
 // Planaria adapts the deadline-driven task selection of Planaria (Ghodrati
 // et al., MICRO 2020) to a time-shared accelerator: with the resource
@@ -131,13 +191,18 @@ func NewPlanaria(est *Estimator) *Planaria { return &Planaria{est: est} }
 func (*Planaria) Name() string { return "Planaria" }
 
 // OnArrival implements Scheduler.
-func (*Planaria) OnArrival(*Task, time.Duration) {}
+func (p *Planaria) OnArrival(t *Task, _ time.Duration) { t.Attachment = p.est.stats(t) }
 
 // OnLayerComplete implements Scheduler.
-func (*Planaria) OnLayerComplete(*Task, int, float64, time.Duration) {}
+func (*Planaria) OnLayerComplete(t *Task, _ int, _ float64, _ time.Duration) {
+	if t.Done {
+		t.Attachment = nil
+	}
+}
 
 // PickNext implements Scheduler: least slack first among feasible tasks;
-// if none is feasible, shortest remaining among the hopeless.
+// if none is feasible, shortest remaining among the hopeless (the
+// reference two-pass scan).
 func (p *Planaria) PickNext(ready []*Task, now time.Duration) *Task {
 	var best *Task
 	var bestSlack float64
@@ -162,6 +227,32 @@ func (p *Planaria) PickNext(ready []*Task, now time.Duration) *Task {
 		}
 	}
 	return best
+}
+
+// PickNextIncremental implements IncrementalScheduler: one pass over the
+// queue tracking the feasible and hopeless minima simultaneously, with
+// the profile read from the arrival-time attachment.
+func (p *Planaria) PickNextIncremental(q *ReadyQueue, now time.Duration) *Task {
+	var feasible, hopeless *Task
+	var bestSlack float64
+	var bestRem time.Duration
+	for _, t := range q.Tasks() {
+		rem := estStats(p.est, t).AvgRemaining(t.NextLayer)
+		slack := ms(t.Deadline()-now) - ms(rem)
+		if slack < 0 {
+			if hopeless == nil || rem < bestRem || (rem == bestRem && t.ID < hopeless.ID) {
+				hopeless, bestRem = t, rem
+			}
+			continue
+		}
+		if feasible == nil || slack < bestSlack || (slack == bestSlack && t.ID < feasible.ID) {
+			feasible, bestSlack = t, slack
+		}
+	}
+	if feasible != nil {
+		return feasible
+	}
+	return hopeless
 }
 
 // Oracle is the paper's upper-bound scheduler (§6.4): it scores tasks with
@@ -190,7 +281,7 @@ func (*Oracle) OnArrival(*Task, time.Duration) {}
 // OnLayerComplete implements Scheduler.
 func (*Oracle) OnLayerComplete(*Task, int, float64, time.Duration) {}
 
-// PickNext implements Scheduler.
+// PickNext implements Scheduler (the reference scan).
 func (o *Oracle) PickNext(ready []*Task, now time.Duration) *Task {
 	best := ready[0]
 	bestScore := o.score(best, now)
@@ -200,6 +291,13 @@ func (o *Oracle) PickNext(ready []*Task, now time.Duration) *Task {
 		}
 	}
 	return best
+}
+
+// PickNextIncremental implements IncrementalScheduler. Oracle's score is
+// already O(1) per task (the engine maintains TrueRemaining as a running
+// suffix), so the incremental path is the same scan over the queue view.
+func (o *Oracle) PickNextIncremental(q *ReadyQueue, now time.Duration) *Task {
+	return o.PickNext(q.Tasks(), now)
 }
 
 // score mirrors Dysta's dynamic score (Alg. 2 line 11) with perfect
@@ -220,3 +318,10 @@ func (o *Oracle) score(t *Task, now time.Duration) float64 {
 // ms converts a duration to float64 milliseconds, the score unit used
 // throughout the schedulers (matching the FP16 hardware's operand scale).
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+var (
+	_ IncrementalScheduler = (*FCFS)(nil)
+	_ IncrementalScheduler = (*SJF)(nil)
+	_ IncrementalScheduler = (*Planaria)(nil)
+	_ IncrementalScheduler = (*Oracle)(nil)
+)

@@ -122,9 +122,10 @@ func TestPREMATokensPromoteStarvedTask(t *testing.T) {
 	// while the short one is below and not the incumbent — the long task
 	// becomes the sole candidate and overrides SJF order.
 	now := 300 * time.Millisecond
-	p.tokens[0] = p.Threshold + 1
-	p.tokens[1] = 0
-	p.lastSeen[0], p.lastSeen[1] = now, now
+	p.state(ready[0]).tokens = p.Threshold + 1
+	p.state(ready[1]).tokens = 0
+	p.state(ready[0]).lastSeen = now
+	p.state(ready[1]).lastSeen = now
 	p.lastPick = nil
 	if got := p.PickNext(ready, now); got != ready[0] {
 		t.Errorf("starved pick was task %d", got.ID)
@@ -143,9 +144,10 @@ func TestPREMAIncumbentStaysCandidate(t *testing.T) {
 	p.OnArrival(ready[1], 0)
 
 	now := 300 * time.Millisecond
-	p.tokens[0] = p.Threshold + 1
-	p.tokens[1] = 0
-	p.lastSeen[0], p.lastSeen[1] = now, now
+	p.state(ready[0]).tokens = p.Threshold + 1
+	p.state(ready[1]).tokens = 0
+	p.state(ready[0]).lastSeen = now
+	p.state(ready[1]).lastSeen = now
 	p.lastPick = ready[1] // short is running
 	// Both are candidates (long by tokens, short as incumbent): SJF keeps
 	// the short incumbent.
@@ -163,7 +165,7 @@ func TestPREMACleansUpDoneTasks(t *testing.T) {
 	task.NextLayer = 1
 	task.Done = true
 	p.OnLayerComplete(task, 0, 0.5, time.Millisecond)
-	if len(p.tokens) != 0 || len(p.prio) != 0 {
+	if task.Attachment != nil {
 		t.Error("PREMA retained state for a finished task")
 	}
 }

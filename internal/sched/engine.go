@@ -21,6 +21,10 @@ type Options struct {
 	RecordTimeline bool
 	// RecordTasks captures per-request outcomes in Result.Tasks.
 	RecordTasks bool
+	// ReferencePick forces the reference Scheduler.PickNext path even for
+	// schedulers implementing IncrementalScheduler. The equivalence tests
+	// use it to prove both paths produce bit-identical schedules.
+	ReferencePick bool
 }
 
 // Result aggregates one simulation run's metrics (paper §6.1).
@@ -92,7 +96,7 @@ func Run(s Scheduler, reqs []*workload.Request, opts Options) (Result, error) {
 
 	var (
 		now        time.Duration
-		ready      []*Task
+		ready      ReadyQueue
 		done       []*Task
 		nextIdx    int
 		last       *Task
@@ -104,11 +108,15 @@ func Run(s Scheduler, reqs []*workload.Request, opts Options) (Result, error) {
 	if opts.RecordTimeline {
 		timeline = &Timeline{}
 	}
+	inc, _ := s.(IncrementalScheduler)
+	if opts.ReferencePick {
+		inc = nil
+	}
 
 	deliver := func() {
 		for nextIdx < len(pending) && pending[nextIdx].Arrival <= now {
 			t := pending[nextIdx]
-			ready = append(ready, t)
+			ready.add(t)
 			s.OnArrival(t, now)
 			nextIdx++
 		}
@@ -116,14 +124,19 @@ func Run(s Scheduler, reqs []*workload.Request, opts Options) (Result, error) {
 
 	for len(done) < len(pending) {
 		deliver()
-		if len(ready) == 0 {
+		if ready.Len() == 0 {
 			// Idle: jump to the next arrival.
 			now = pending[nextIdx].Arrival
 			deliver()
 		}
 
-		pick := s.PickNext(ready, now)
-		if pick == nil || !contains(ready, pick) {
+		var pick *Task
+		if inc != nil {
+			pick = inc.PickNextIncremental(&ready, now)
+		} else {
+			pick = s.PickNext(ready.Tasks(), now)
+		}
+		if pick == nil || !ready.Contains(pick) {
 			return Result{}, fmt.Errorf("sched: %s picked a task outside the ready queue", s.Name())
 		}
 		if last != nil && last != pick && !last.Done {
@@ -141,17 +154,20 @@ func Run(s Scheduler, reqs []*workload.Request, opts Options) (Result, error) {
 		pick.ExecTime += dur
 		pick.LastRun = now
 		pick.NextLayer++
-		s.OnLayerComplete(pick, layer, pick.monitoredSparsity(layer), now)
-
+		pick.trueRemaining -= dur
 		if pick.NextLayer == pick.NumLayers() {
+			// Mark completion before notifying the scheduler, so
+			// OnLayerComplete implementations can release their per-task
+			// state on the final layer.
 			pick.Done = true
 			pick.Completion = now
-			ready = remove(ready, pick)
+			ready.remove(pick)
 			done = append(done, pick)
 			turn := now - pick.Arrival
 			turnRatios = append(turnRatios, float64(turn)/float64(pick.TrueIsolated()))
 			latencies = append(latencies, float64(turn))
 		}
+		s.OnLayerComplete(pick, layer, pick.monitoredSparsity(layer), now)
 	}
 
 	res := Result{
@@ -209,24 +225,6 @@ func Run(s Scheduler, reqs []*workload.Request, opts Options) (Result, error) {
 		sort.Slice(res.Tasks, func(i, j int) bool { return res.Tasks[i].ID < res.Tasks[j].ID })
 	}
 	return res, nil
-}
-
-func contains(ts []*Task, t *Task) bool {
-	for _, x := range ts {
-		if x == t {
-			return true
-		}
-	}
-	return false
-}
-
-func remove(ts []*Task, t *Task) []*Task {
-	for i, x := range ts {
-		if x == t {
-			return append(ts[:i], ts[i+1:]...)
-		}
-	}
-	return ts
 }
 
 // AverageResults averages the metric fields of per-seed results of the

@@ -141,9 +141,11 @@ func TestIdleGapHandling(t *testing.T) {
 }
 
 // badScheduler returns a task outside the ready queue.
-type badScheduler struct{ *FCFS }
+type badScheduler struct{}
 
-func (badScheduler) Name() string { return "bad" }
+func (badScheduler) Name() string                                       { return "bad" }
+func (badScheduler) OnArrival(*Task, time.Duration)                     {}
+func (badScheduler) OnLayerComplete(*Task, int, float64, time.Duration) {}
 func (badScheduler) PickNext(ready []*Task, _ time.Duration) *Task {
 	return &Task{}
 }
@@ -192,7 +194,9 @@ func TestTaskAccessors(t *testing.T) {
 	if task.TrueRemaining() != 8*time.Millisecond {
 		t.Errorf("TrueRemaining = %v", task.TrueRemaining())
 	}
+	// TrueRemaining is maintained by the engine as layers execute.
 	task.NextLayer = 2
+	task.trueRemaining -= 4 * time.Millisecond
 	if task.TrueRemaining() != 4*time.Millisecond {
 		t.Errorf("TrueRemaining after 2 layers = %v", task.TrueRemaining())
 	}

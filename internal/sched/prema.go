@@ -1,6 +1,10 @@
 package sched
 
-import "time"
+import (
+	"time"
+
+	"sparsedysta/internal/trace"
+)
 
 // PREMA implements the predictive multi-task scheduling algorithm of Choi
 // & Rhu (HPCA 2020), adapted per paper §6.1: the candidate condition is
@@ -15,40 +19,57 @@ import "time"
 // with the shortest estimated remaining time runs — so PREMA behaves like
 // SJF with token-based starvation protection, matching its near-SJF ANTT
 // and violation numbers in the paper's Table 5.
+//
+// Per-task bookkeeping (priority, tokens, accrual clock, profile) lives in
+// a task attachment set at arrival, so every scheduling decision is free
+// of map lookups.
 type PREMA struct {
 	est *Estimator
 	// Threshold is the token level that makes a task a candidate.
 	Threshold float64
 
-	tokens   map[int]float64
-	lastSeen map[int]time.Duration
-	prio     map[int]float64
 	lastPick *Task
+}
+
+// premaState is PREMA's per-task attachment.
+type premaState struct {
+	prio     float64
+	tokens   float64
+	lastSeen time.Duration
+	st       *trace.Stats
 }
 
 // NewPREMA returns the PREMA baseline with the default threshold.
 func NewPREMA(est *Estimator) *PREMA {
-	return &PREMA{
-		est:       est,
-		Threshold: 64,
-		tokens:    map[int]float64{},
-		lastSeen:  map[int]time.Duration{},
-		prio:      map[int]float64{},
-	}
+	return &PREMA{est: est, Threshold: 64}
 }
 
 // Name implements Scheduler.
 func (*PREMA) Name() string { return "PREMA" }
+
+// state returns the task's attachment, creating a zero state for tasks
+// the scheduler never saw arrive (mirroring the zero values the map-based
+// bookkeeping used to yield).
+func (p *PREMA) state(t *Task) *premaState {
+	if s, ok := t.Attachment.(*premaState); ok {
+		return s
+	}
+	s := &premaState{st: p.est.stats(t)}
+	t.Attachment = s
+	return s
+}
 
 // OnArrival implements Scheduler: assign the task's static priority.
 // PREMA assigns priorities by task criticality; with uniform SLO
 // multipliers, criticality is driven by job length — short jobs receive
 // high priority so they are not starved by long-running tenants.
 func (p *PREMA) OnArrival(t *Task, now time.Duration) {
-	iso := p.est.Isolated(t)
-	p.prio[t.ID] = priorityForLatency(iso)
-	p.tokens[t.ID] = 0
-	p.lastSeen[t.ID] = now
+	st := p.est.stats(t)
+	t.Attachment = &premaState{
+		prio:     priorityForLatency(st.AvgTotal),
+		lastSeen: now,
+		st:       st,
+	}
 }
 
 // priorityForLatency buckets estimated isolated latency into PREMA's
@@ -68,35 +89,48 @@ func priorityForLatency(iso time.Duration) float64 {
 
 // OnLayerComplete implements Scheduler: the task that just executed was
 // not waiting, so its accrual clock resets; a completed task's bookkeeping
-// is dropped.
+// is released.
 func (p *PREMA) OnLayerComplete(t *Task, _ int, _ float64, now time.Duration) {
 	if t.Done {
-		delete(p.tokens, t.ID)
-		delete(p.lastSeen, t.ID)
-		delete(p.prio, t.ID)
+		t.Attachment = nil
 		return
 	}
-	p.lastSeen[t.ID] = now
+	p.state(t).lastSeen = now
 }
 
-// PickNext implements Scheduler. The running task stays a candidate (it
-// occupies the NPU until preempted); tokens are spent when a *different*
-// task is dispatched, matching PREMA's dispatch-slot semantics rather than
-// per-layer churn.
-func (p *PREMA) PickNext(ready []*Task, now time.Duration) *Task {
-	// Accrue tokens for waiting time since the last decision; the running
-	// task accrues nothing while executing (it was not waiting).
+// accrue credits waiting-time tokens to every ready task since the last
+// decision; the running task accrues nothing while executing (it was not
+// waiting).
+func (p *PREMA) accrue(ready []*Task, now time.Duration) {
 	for _, t := range ready {
-		wait := ms(now - p.lastSeen[t.ID])
-		if wait > 0 {
-			p.tokens[t.ID] += p.prio[t.ID] * wait
+		s := p.state(t)
+		if wait := ms(now - s.lastSeen); wait > 0 {
+			s.tokens += s.prio * wait
 		}
-		p.lastSeen[t.ID] = now
+		s.lastSeen = now
 	}
+}
+
+// dispatch finalizes a pick: a fresh dispatch spends the task's
+// accumulated tokens.
+func (p *PREMA) dispatch(t *Task) *Task {
+	if t != p.lastPick {
+		p.state(t).tokens = 0
+		p.lastPick = t
+	}
+	return t
+}
+
+// PickNext implements Scheduler (the reference implementation). The
+// running task stays a candidate (it occupies the NPU until preempted);
+// tokens are spent when a *different* task is dispatched, matching
+// PREMA's dispatch-slot semantics rather than per-layer churn.
+func (p *PREMA) PickNext(ready []*Task, now time.Duration) *Task {
+	p.accrue(ready, now)
 
 	candidates := make([]*Task, 0, len(ready))
 	for _, t := range ready {
-		if p.tokens[t.ID] >= p.Threshold || t == p.lastPick {
+		if p.state(t).tokens >= p.Threshold || t == p.lastPick {
 			candidates = append(candidates, t)
 		}
 	}
@@ -112,12 +146,32 @@ func (p *PREMA) PickNext(ready []*Task, now time.Duration) *Task {
 			best, bestRem = t, rem
 		}
 	}
-	if best != p.lastPick {
-		// A fresh dispatch spends the task's accumulated tokens.
-		p.tokens[best.ID] = 0
-		p.lastPick = best
-	}
-	return best
+	return p.dispatch(best)
 }
 
-var _ Scheduler = (*PREMA)(nil)
+// PickNextIncremental implements IncrementalScheduler: accrue tokens,
+// then track the candidate and overall (remaining, ID) minima in one
+// scan with no candidate-slice allocation.
+func (p *PREMA) PickNextIncremental(q *ReadyQueue, now time.Duration) *Task {
+	p.accrue(q.Tasks(), now)
+	var cand, all *Task
+	var candRem, allRem time.Duration
+	for _, t := range q.Tasks() {
+		s := p.state(t)
+		rem := s.st.AvgRemaining(t.NextLayer)
+		if all == nil || rem < allRem || (rem == allRem && t.ID < all.ID) {
+			all, allRem = t, rem
+		}
+		if s.tokens >= p.Threshold || t == p.lastPick {
+			if cand == nil || rem < candRem || (rem == candRem && t.ID < cand.ID) {
+				cand, candRem = t, rem
+			}
+		}
+	}
+	if cand == nil {
+		cand = all
+	}
+	return p.dispatch(cand)
+}
+
+var _ IncrementalScheduler = (*PREMA)(nil)

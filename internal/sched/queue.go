@@ -1,0 +1,171 @@
+package sched
+
+import "time"
+
+// ReadyQueue is the engine's indexed ready set. Tasks carry their own
+// position (Task.queueIndex), so membership checks and removals are O(1)
+// instead of the linear scans the engine used to perform per scheduling
+// decision. Removal swaps the last element into the vacated slot, so the
+// queue does NOT preserve insertion order; every scheduler's selection rule
+// is a strict lexicographic minimum (score, then task ID), which is
+// order-independent, and the invariants test cross-checks this.
+type ReadyQueue struct {
+	tasks []*Task
+}
+
+// Len returns the number of ready tasks.
+func (q *ReadyQueue) Len() int { return len(q.tasks) }
+
+// Tasks returns the live backing slice for iteration. Callers must not
+// mutate it; the engine passes it to the reference Scheduler.PickNext.
+func (q *ReadyQueue) Tasks() []*Task { return q.tasks }
+
+// Contains reports membership in O(1) via the task-carried index.
+func (q *ReadyQueue) Contains(t *Task) bool {
+	i := t.queueIndex
+	return i >= 0 && i < len(q.tasks) && q.tasks[i] == t
+}
+
+// add appends a task, recording its index.
+func (q *ReadyQueue) add(t *Task) {
+	t.queueIndex = len(q.tasks)
+	q.tasks = append(q.tasks, t)
+}
+
+// remove deletes a task in O(1) by swapping the last element into its
+// slot. Unlike the old append(ts[:i], ts[i+1:]...) helper this never
+// shifts the tail (no aliasing of a caller-visible backing array) and
+// clears the vacated slot so completed tasks are not retained.
+func (q *ReadyQueue) remove(t *Task) {
+	i := t.queueIndex
+	if i < 0 || i >= len(q.tasks) || q.tasks[i] != t {
+		return
+	}
+	last := len(q.tasks) - 1
+	q.tasks[i] = q.tasks[last]
+	q.tasks[i].queueIndex = i
+	q.tasks[last] = nil
+	q.tasks = q.tasks[:last]
+	t.queueIndex = -1
+}
+
+// IncrementalScheduler is the optional fast-path extension of Scheduler.
+// Implementations keep their scoring state incremental — a heap keyed by a
+// time-invariant priority, or per-task cached score components refreshed
+// only at the events that change them (arrival, layer completion) — so a
+// scheduling decision avoids the from-scratch re-scoring of the reference
+// PickNext. The engine prefers this path when available; the reference
+// PickNext remains mandatory and must pick the identical task (the
+// equivalence tests in this package and internal/exp enforce bit-identical
+// schedules between the two paths).
+type IncrementalScheduler interface {
+	Scheduler
+	// PickNextIncremental selects the next task from the non-empty ready
+	// queue, equivalently to PickNext(q.Tasks(), now).
+	PickNextIncremental(q *ReadyQueue, now time.Duration) *Task
+}
+
+// TaskHeap is a binary min-heap of tasks under a scheduler-supplied strict
+// ordering, used by schedulers whose priority is time-invariant between
+// task events (FCFS, SJF). The heap position is carried on the task
+// (Task.heapIndex), so Remove and Fix are O(log n) with no auxiliary map.
+// Only one scheduler owns a task's heap slot at a time — one scheduler
+// instance runs per engine invocation.
+type TaskHeap struct {
+	less  func(a, b *Task) bool
+	tasks []*Task
+}
+
+// NewTaskHeap returns an empty heap over the ordering. less must be a
+// strict weak ordering that never reports ties (break them by Task.ID) so
+// the minimum is unique and matches the reference linear scan.
+func NewTaskHeap(less func(a, b *Task) bool) *TaskHeap {
+	return &TaskHeap{less: less}
+}
+
+// Len returns the number of tasks in the heap.
+func (h *TaskHeap) Len() int { return len(h.tasks) }
+
+// Min returns the minimum task without removing it, or nil when empty.
+func (h *TaskHeap) Min() *Task {
+	if len(h.tasks) == 0 {
+		return nil
+	}
+	return h.tasks[0]
+}
+
+// Push inserts a task.
+func (h *TaskHeap) Push(t *Task) {
+	t.heapIndex = len(h.tasks)
+	h.tasks = append(h.tasks, t)
+	h.up(t.heapIndex)
+}
+
+// Remove deletes the task if present.
+func (h *TaskHeap) Remove(t *Task) {
+	i := t.heapIndex
+	if i < 0 || i >= len(h.tasks) || h.tasks[i] != t {
+		return
+	}
+	last := len(h.tasks) - 1
+	h.swap(i, last)
+	h.tasks[last] = nil
+	h.tasks = h.tasks[:last]
+	t.heapIndex = -1
+	if i < last {
+		h.fix(i)
+	}
+}
+
+// Fix restores the heap order after the task's key changed.
+func (h *TaskHeap) Fix(t *Task) {
+	i := t.heapIndex
+	if i < 0 || i >= len(h.tasks) || h.tasks[i] != t {
+		return
+	}
+	h.fix(i)
+}
+
+func (h *TaskHeap) fix(i int) {
+	if !h.down(i) {
+		h.up(i)
+	}
+}
+
+func (h *TaskHeap) swap(i, j int) {
+	h.tasks[i], h.tasks[j] = h.tasks[j], h.tasks[i]
+	h.tasks[i].heapIndex = i
+	h.tasks[j].heapIndex = j
+}
+
+func (h *TaskHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.tasks[i], h.tasks[parent]) {
+			return
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+// down sifts index i toward the leaves; it reports whether i moved.
+func (h *TaskHeap) down(i int) bool {
+	start := i
+	n := len(h.tasks)
+	for {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if r := child + 1; r < n && h.less(h.tasks[r], h.tasks[child]) {
+			child = r
+		}
+		if !h.less(h.tasks[child], h.tasks[i]) {
+			break
+		}
+		h.swap(i, child)
+		i = child
+	}
+	return i > start
+}

@@ -26,13 +26,18 @@ func NewSDRM3(est *Estimator) *SDRM3 { return &SDRM3{est: est, Alpha: 0.5} }
 // Name implements Scheduler.
 func (*SDRM3) Name() string { return "SDRM3" }
 
-// OnArrival implements Scheduler.
-func (*SDRM3) OnArrival(*Task, time.Duration) {}
+// OnArrival implements Scheduler: the pattern-blind profile is attached
+// once, so per-decision scoring needs no model lookup.
+func (s *SDRM3) OnArrival(t *Task, _ time.Duration) { t.Attachment = s.est.stats(t) }
 
 // OnLayerComplete implements Scheduler.
-func (*SDRM3) OnLayerComplete(*Task, int, float64, time.Duration) {}
+func (*SDRM3) OnLayerComplete(t *Task, _ int, _ float64, _ time.Duration) {
+	if t.Done {
+		t.Attachment = nil
+	}
+}
 
-// PickNext implements Scheduler: maximum MapScore.
+// PickNext implements Scheduler: maximum MapScore (the reference scan).
 func (s *SDRM3) PickNext(ready []*Task, now time.Duration) *Task {
 	best := ready[0]
 	bestScore := s.mapScore(best, now)
@@ -44,9 +49,17 @@ func (s *SDRM3) PickNext(ready []*Task, now time.Duration) *Task {
 	return best
 }
 
+// PickNextIncremental implements IncrementalScheduler. MapScore depends
+// on wall-clock time for every task, so the scan stays linear; the gain
+// is the O(1) per-task profile access via the attachment.
+func (s *SDRM3) PickNextIncremental(q *ReadyQueue, now time.Duration) *Task {
+	return s.PickNext(q.Tasks(), now)
+}
+
 // mapScore = Alpha*Urgency + Fairness (Pref = 1 folded in).
 func (s *SDRM3) mapScore(t *Task, now time.Duration) float64 {
-	remain := ms(s.est.Remaining(t))
+	st := estStats(s.est, t)
+	remain := ms(st.AvgRemaining(t.NextLayer))
 	slack := ms(t.Deadline() - now)
 	urgency := 0.0
 	if slack > 0 {
@@ -59,7 +72,7 @@ func (s *SDRM3) mapScore(t *Task, now time.Duration) float64 {
 		urgency = 1
 	}
 
-	iso := ms(s.est.Isolated(t))
+	iso := ms(st.AvgTotal)
 	fairness := 0.0
 	if iso > 0 {
 		// Service deficit: how far the task lags uniform progress.
@@ -70,4 +83,4 @@ func (s *SDRM3) mapScore(t *Task, now time.Duration) float64 {
 	return s.Alpha*urgency + fairness
 }
 
-var _ Scheduler = (*SDRM3)(nil)
+var _ IncrementalScheduler = (*SDRM3)(nil)

@@ -38,15 +38,32 @@ type Task struct {
 	Completion time.Duration
 	// Done reports whether every layer has executed.
 	Done bool
+	// Attachment is a scheduler-private per-task state slot: schedulers
+	// set it in OnArrival and read it back at every scheduling point,
+	// replacing the per-pick map lookups the baselines used to do. Exactly
+	// one scheduler instance runs per engine invocation, so the slot is
+	// never shared. The engine ignores it.
+	Attachment any
 
 	tr *trace.SampleTrace
+	// trueTotal caches the trace's end-to-end latency; trueRemaining is
+	// maintained by the engine as layers execute so TrueRemaining is O(1)
+	// instead of re-summing the trace suffix.
+	trueTotal, trueRemaining time.Duration
+	// queueIndex is the task's position in the engine's ReadyQueue
+	// (-1 when not queued); heapIndex is its position in the active
+	// scheduler's TaskHeap (-1 when absent).
+	queueIndex, heapIndex int
 }
 
 // newTask wraps a workload request.
 func newTask(r *workload.Request) *Task {
 	tr := r.Trace
+	total := tr.Total()
 	return &Task{ID: r.ID, Key: r.Key, Arrival: r.Arrival, SLO: r.SLO,
-		LastRun: r.Arrival, tr: &tr}
+		LastRun: r.Arrival, tr: &tr,
+		trueTotal: total, trueRemaining: total,
+		queueIndex: -1, heapIndex: -1}
 }
 
 // NumLayers returns the task's layer count.
@@ -87,12 +104,13 @@ func (t *Task) Violated(now time.Duration) bool {
 
 // TrueIsolated returns the ground-truth isolated latency (T_isol). The
 // engine uses it for metrics; among schedulers only Oracle may call it.
-func (t *Task) TrueIsolated() time.Duration { return t.tr.Total() }
+func (t *Task) TrueIsolated() time.Duration { return t.trueTotal }
 
 // TrueRemaining returns the ground-truth remaining isolated latency from
-// the task's next layer. Reserved to the Oracle scheduler, which the paper
-// defines as having perfect latency knowledge (§6.4).
-func (t *Task) TrueRemaining() time.Duration { return t.tr.Remaining(t.NextLayer) }
+// the task's next layer, maintained incrementally by the engine (O(1)).
+// Reserved to the Oracle scheduler, which the paper defines as having
+// perfect latency knowledge (§6.4).
+func (t *Task) TrueRemaining() time.Duration { return t.trueRemaining }
 
 // nextLayerLatency is the engine's accessor for ground-truth execution.
 func (t *Task) nextLayerLatency() time.Duration { return t.tr.LayerLatency[t.NextLayer] }

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"fmt"
+	"sort"
 	"time"
 )
 
@@ -209,6 +210,11 @@ func (s *StatsSet) MergedByModel(model string) *Stats {
 	if len(members) == 0 {
 		return nil
 	}
+	// Accumulate in pattern order: float addition is not associative, so
+	// merging in (random) map-iteration order would make the merged
+	// profile — and every schedule derived from it — vary between
+	// processes for the same inputs.
+	sort.Slice(members, func(i, j int) bool { return members[i].Key.Pattern < members[j].Key.Pattern })
 	if len(members) == 1 {
 		return members[0]
 	}
