@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"sparsedysta/internal/accel"
+	"sparsedysta/internal/cluster"
 	"sparsedysta/internal/core"
 	"sparsedysta/internal/exp"
 	"sparsedysta/internal/models"
@@ -110,6 +111,39 @@ func BenchmarkEngineDysta(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkClusterDysta measures the multi-engine cluster simulation: the
+// 500-request stream dispatched across 4 engines running Dysta behind the
+// sparsity-aware least-predicted-load policy.
+func BenchmarkClusterDysta(b *testing.B) {
+	lut, reqs := benchWorkload(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := cluster.NewLeastLoad("load", cluster.SparsityAwareLoad(lut))
+		if _, err := cluster.Run(func(int) sched.Scheduler { return core.NewDefault(lut) }, reqs,
+			cluster.Config{Engines: 4, Dispatch: d}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClusterRoundRobin is the dispatch-cost baseline for
+// BenchmarkClusterDysta: same engines, O(1) routing.
+func BenchmarkClusterRoundRobin(b *testing.B) {
+	lut, reqs := benchWorkload(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cluster.Run(func(int) sched.Scheduler { return core.NewDefault(lut) }, reqs,
+			cluster.Config{Engines: 4, Dispatch: cluster.NewRoundRobin()}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScaleEngines regenerates the scale-engines experiment.
+func BenchmarkScaleEngines(b *testing.B) { runExp(b, "scale-engines") }
 
 // BenchmarkPredictor measures one Observe+Remaining predictor step.
 func BenchmarkPredictor(b *testing.B) {

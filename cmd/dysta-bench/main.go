@@ -31,6 +31,8 @@ func main() {
 		seeds     = flag.Int("seeds", 0, "override seed count (0 = protocol default)")
 		requests  = flag.Int("requests", 0, "override request count (0 = protocol default)")
 		workers   = flag.Int("workers", 0, "parallel simulation workers (0 = all cores, 1 = sequential)")
+		engines   = flag.Int("engines", 0, "override the simulated accelerator count (0 = per-experiment default; >1 routes runs through the cluster simulation)")
+		dispatch  = flag.String("dispatch", "", "override the cluster dispatch policy: rr, jsq, load, blind-load")
 		outDir    = flag.String("out", "", "also write each experiment's output to <dir>/<id>.txt")
 		benchJSON = flag.Bool("json", false,
 			"run the hot-path micro-benchmarks and write BENCH_<date>.json (to -out dir, or cwd)")
@@ -74,6 +76,12 @@ func main() {
 		opts.Requests = *requests
 	}
 	opts.Workers = *workers
+	if *engines > 0 {
+		opts.Engines = *engines
+	}
+	if *dispatch != "" {
+		opts.Dispatch = *dispatch
+	}
 
 	ids := []string{*expID}
 	switch *expID {

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"sparsedysta/internal/cluster"
 	"sparsedysta/internal/core"
 	"sparsedysta/internal/exp"
 	"sparsedysta/internal/sched"
@@ -99,6 +100,27 @@ func runMicroBenchmarks() ([]BenchRecord, error) {
 			}
 		}},
 		{"EngineOracle", engineBench(func() sched.Scheduler { return sched.NewOracle(core.DefaultConfig().Eta) })},
+		{"ClusterDysta", func(b *testing.B) {
+			// 4 engines behind sparsity-aware least-predicted-load
+			// dispatch: the new-subsystem entry of the perf trajectory.
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				d := cluster.NewLeastLoad("load", cluster.SparsityAwareLoad(lut))
+				if _, err := cluster.Run(func(int) sched.Scheduler { return core.NewDefault(lut) },
+					reqs, cluster.Config{Engines: 4, Dispatch: d}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"ClusterRoundRobin", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := cluster.Run(func(int) sched.Scheduler { return core.NewDefault(lut) },
+					reqs, cluster.Config{Engines: 4, Dispatch: cluster.NewRoundRobin()}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
 		{"PredictorStep", func(b *testing.B) {
 			st := lut.MustLookup(trace.Key{Model: "bert", Pattern: sparsity.Dense})
 			p := core.NewPredictor(core.DefaultConfig(), st)

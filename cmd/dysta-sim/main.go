@@ -33,6 +33,8 @@ func main() {
 		profileN = flag.Int("profile-samples", 100, "offline profiling samples per model-pattern pair")
 		evalN    = flag.Int("eval-samples", 400, "evaluation trace pool per model-pattern pair")
 		workers  = flag.Int("workers", 0, "parallel simulation workers (0 = all cores, 1 = sequential)")
+		engines  = flag.Int("engines", 1, "simulated accelerators; >1 runs the multi-engine cluster simulation")
+		dispatch = flag.String("dispatch", "rr", "cluster dispatch policy: rr, jsq, load, blind-load")
 		eta      = flag.Float64("eta", core.DefaultConfig().Eta, "Dysta eta (dynamic slack weight)")
 		beta     = flag.Float64("beta", core.DefaultConfig().Beta, "Dysta beta (static slack weight)")
 		dumpSpec = flag.Bool("dump-spec", false, "print the selected scenario as a JSON spec and exit")
@@ -82,6 +84,8 @@ func main() {
 		ProfileSamples: *profileN,
 		EvalSamples:    *evalN,
 		Workers:        *workers,
+		Engines:        *engines,
+		Dispatch:       *dispatch,
 	}
 	p, err := exp.NewPipeline(sc, opts, 7)
 	if err != nil {
@@ -121,8 +125,12 @@ func main() {
 		os.Exit(1)
 	}
 
-	fmt.Printf("workload %s  rate %.1f req/s  M_slo %.0fx  %d requests x %d seeds\n\n",
+	fmt.Printf("workload %s  rate %.1f req/s  M_slo %.0fx  %d requests x %d seeds",
 		sc.Name, *rate, *mslo, *requests, *seeds)
+	if *engines > 1 {
+		fmt.Printf("  %d engines (%s dispatch)", *engines, *dispatch)
+	}
+	fmt.Print("\n\n")
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "scheduler\tANTT\tviol%\tthroughput\tmean lat\tp99 lat\tpreemptions")
 	for _, s := range specs {

@@ -1,0 +1,227 @@
+// Package cluster simulates a multi-accelerator serving node: N steppable
+// scheduling engines (internal/sched.Engine) behind a dispatch layer that
+// routes each arriving request to one engine. It extends the paper's
+// single-accelerator evaluation toward the sharded serving scenario of the
+// roadmap — the interesting scheduling question at scale is which device
+// gets a request, informed by sparsity-aware load estimates, before the
+// per-device scheduler ever sees it.
+//
+// Determinism contract: engines' events interleave on one virtual clock in
+// (event time, engine index) order, every stochastic input derives from
+// the request stream, and dispatchers are deterministic — so a cluster run
+// is a pure function of (schedulers, stream, config). A 1-engine cluster
+// reproduces sched.Run bit-identically under every dispatcher, which the
+// equivalence tests enforce.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"sparsedysta/internal/sched"
+	"sparsedysta/internal/stats"
+	"sparsedysta/internal/workload"
+)
+
+// Config sizes a cluster run.
+type Config struct {
+	// Engines is the number of simulated accelerators (>= 1).
+	Engines int
+	// Dispatch routes arrivals to engines. Nil defaults to round-robin.
+	Dispatch Dispatcher
+	// Sched tunes each engine (preemption overhead, recording).
+	Sched sched.Options
+}
+
+// Result aggregates a cluster run: the cluster-wide metrics in the
+// embedded sched.Result (computed over all requests, so ANTT, violation
+// rate and throughput are directly comparable to a single-engine run),
+// plus per-engine breakdowns and the two cluster-health metrics.
+type Result struct {
+	sched.Result
+	// Dispatch and Engines echo the configuration.
+	Dispatch string
+	Engines  int
+	// PerEngine holds each engine's own Result, in engine order.
+	PerEngine []sched.Result
+	// Utilization is the mean busy fraction across engines over the
+	// cluster makespan: sum(busy_i) / (N * makespan).
+	Utilization float64
+	// Imbalance is max(busy_i) / mean(busy_i): 1.0 is a perfectly
+	// balanced cluster, higher means the dispatcher concentrated work.
+	Imbalance float64
+}
+
+// Run simulates the request stream over cfg.Engines engines, one fresh
+// scheduler per engine from newSched, interleaving all engines' events on
+// one virtual clock: before each request is dispatched at its arrival
+// instant, every engine has committed exactly the layers it would have
+// started before that instant.
+func Run(newSched func(engine int) sched.Scheduler, reqs []*workload.Request, cfg Config) (Result, error) {
+	if cfg.Engines < 1 {
+		return Result{}, fmt.Errorf("cluster: %d engines", cfg.Engines)
+	}
+	if len(reqs) == 0 {
+		return Result{}, fmt.Errorf("cluster: empty request stream")
+	}
+	dispatch := cfg.Dispatch
+	if dispatch == nil {
+		dispatch = NewRoundRobin()
+	}
+
+	// Engines record per-task outcomes regardless of the caller's
+	// options: the cluster-wide latency percentiles need every request's
+	// turnaround, not per-engine summaries. The extra field is stripped
+	// below when the caller didn't ask for it.
+	engOpts := cfg.Sched
+	engOpts.RecordTasks = true
+	engines := make([]*sched.Engine, cfg.Engines)
+	for i := range engines {
+		engines[i] = sched.NewEngine(newSched(i), engOpts)
+	}
+
+	// advance commits every engine event strictly before `until`, in
+	// (event time, engine index) order.
+	advance := func(until time.Duration) error {
+		for {
+			best := -1
+			var bestT time.Duration
+			for i, e := range engines {
+				t, ok := e.NextEvent()
+				if !ok || t >= until {
+					continue
+				}
+				if best < 0 || t < bestT {
+					best, bestT = i, t
+				}
+			}
+			if best < 0 {
+				return nil
+			}
+			if _, err := engines[best].Step(); err != nil {
+				return err
+			}
+		}
+	}
+
+	sorted := append([]*workload.Request(nil), reqs...)
+	workload.SortByArrival(sorted)
+	for _, r := range sorted {
+		if err := advance(r.Arrival); err != nil {
+			return Result{}, err
+		}
+		idx := dispatch.Pick(engines, r, r.Arrival)
+		if idx < 0 || idx >= len(engines) {
+			return Result{}, fmt.Errorf("cluster: dispatcher %s picked engine %d of %d",
+				dispatch.Name(), idx, len(engines))
+		}
+		if err := engines[idx].Inject(r, r.Arrival); err != nil {
+			return Result{}, err
+		}
+	}
+	if err := advance(math.MaxInt64); err != nil {
+		return Result{}, err
+	}
+
+	res := Result{
+		Dispatch:  dispatch.Name(),
+		Engines:   cfg.Engines,
+		PerEngine: make([]sched.Result, cfg.Engines),
+	}
+	busy := make([]time.Duration, cfg.Engines)
+	for i, e := range engines {
+		busy[i] = e.BusyTime()
+		res.PerEngine[i] = e.Finish()
+	}
+	res.Result = aggregate(res.PerEngine)
+	if !cfg.Sched.RecordTasks {
+		res.Tasks = nil
+		for i := range res.PerEngine {
+			res.PerEngine[i].Tasks = nil
+		}
+	}
+
+	var totalBusy, maxBusy time.Duration
+	for _, b := range busy {
+		totalBusy += b
+		if b > maxBusy {
+			maxBusy = b
+		}
+	}
+	if res.Makespan > 0 {
+		res.Utilization = float64(totalBusy) / (float64(cfg.Engines) * float64(res.Makespan))
+	}
+	if totalBusy > 0 {
+		mean := float64(totalBusy) / float64(cfg.Engines)
+		res.Imbalance = float64(maxBusy) / mean
+	}
+	return res, nil
+}
+
+// aggregate folds per-engine results into one cluster-wide sched.Result.
+// A single engine's result passes through verbatim (the bit-identity
+// anchor); for N > 1 the metrics are recomputed from the union of all
+// engines' per-task outcomes, in task-ID order, with the same formulas
+// sched.Run uses. Timelines stay per-engine: a cluster has no single
+// execution order to draw.
+func aggregate(per []sched.Result) sched.Result {
+	if len(per) == 1 {
+		return per[0]
+	}
+	agg := sched.Result{Scheduler: per[0].Scheduler}
+	var outcomes []sched.TaskOutcome
+	for _, r := range per {
+		agg.Preemptions += r.Preemptions
+		agg.Dropped += r.Dropped
+		outcomes = append(outcomes, r.Tasks...)
+	}
+	if len(outcomes) == 0 {
+		return agg
+	}
+	sort.Slice(outcomes, func(i, j int) bool { return outcomes[i].ID < outcomes[j].ID })
+
+	ratios := make([]float64, len(outcomes))
+	latencies := make([]float64, len(outcomes))
+	violations := 0
+	firstArrival, lastDone := outcomes[0].Arrival, time.Duration(0)
+	perModel := map[string]sched.ModelMetrics{}
+	for i, o := range outcomes {
+		ratios[i] = o.NTT
+		latencies[i] = float64(o.Completion - o.Arrival)
+		if o.Violated {
+			violations++
+		}
+		if o.Arrival < firstArrival {
+			firstArrival = o.Arrival
+		}
+		if o.Completion > lastDone {
+			lastDone = o.Completion
+		}
+		m := perModel[o.Model]
+		m.Requests++
+		m.ANTT += o.NTT
+		if o.Violated {
+			m.ViolationRate++
+		}
+		perModel[o.Model] = m
+	}
+	for name, m := range perModel {
+		m.ANTT /= float64(m.Requests)
+		m.ViolationRate /= float64(m.Requests)
+		perModel[name] = m
+	}
+	agg.Requests = len(outcomes)
+	agg.ANTT = stats.Mean(ratios)
+	agg.ViolationRate = float64(violations) / float64(len(outcomes))
+	agg.MeanLatency = time.Duration(stats.Mean(latencies))
+	agg.P99Latency = time.Duration(stats.Percentile(latencies, 99))
+	agg.Makespan = lastDone - firstArrival
+	if agg.Makespan > 0 {
+		agg.Throughput = float64(len(outcomes)) / agg.Makespan.Seconds()
+	}
+	agg.PerModel = perModel
+	agg.Tasks = outcomes
+	return agg
+}

@@ -1,0 +1,271 @@
+package cluster
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"sparsedysta/internal/rng"
+	"sparsedysta/internal/sched"
+	"sparsedysta/internal/sparsity"
+	"sparsedysta/internal/trace"
+	"sparsedysta/internal/workload"
+)
+
+// randomStream builds a random well-formed request stream plus the
+// profiling artefacts every scheduler and dispatcher needs (mirrors the
+// generator of the sched package's property tests).
+func randomStream(seed uint64, n int) ([]*workload.Request, *sched.Estimator, *trace.StatsSet) {
+	r := rng.New(seed)
+	nModels := 1 + r.Intn(3)
+	store := trace.NewStore()
+	keys := make([]trace.Key, nModels)
+	profiles := make([][]trace.SampleTrace, nModels)
+	for m := 0; m < nModels; m++ {
+		keys[m] = trace.Key{Model: string(rune('a' + m)), Pattern: sparsity.Dense}
+		layers := 2 + r.Intn(8)
+		for p := 0; p < 3; p++ {
+			tr := trace.SampleTrace{
+				LayerLatency:  make([]time.Duration, layers),
+				LayerSparsity: make([]float64, layers),
+			}
+			for l := 0; l < layers; l++ {
+				tr.LayerLatency[l] = time.Duration(100+r.Intn(5000)) * time.Microsecond
+				tr.LayerSparsity[l] = 0.1 + 0.8*r.Float64()
+			}
+			profiles[m] = append(profiles[m], tr)
+		}
+		store.Add(keys[m], profiles[m])
+	}
+	set, err := trace.NewStatsSet(store)
+	if err != nil {
+		panic(err)
+	}
+	reqs := make([]*workload.Request, n)
+	var arrival time.Duration
+	for i := range reqs {
+		arrival += time.Duration(r.Intn(3000)) * time.Microsecond
+		m := r.Intn(nModels)
+		tr := profiles[m][r.Intn(len(profiles[m]))]
+		reqs[i] = &workload.Request{
+			ID:      i,
+			Key:     keys[m],
+			Trace:   tr,
+			Arrival: arrival,
+			SLO:     time.Duration(float64(tr.Total()) * (1 + 10*r.Float64())),
+		}
+	}
+	return reqs, sched.NewEstimator(set), set
+}
+
+// schedSpecs returns one constructor per scheduler in the package lineup.
+func schedSpecs(est *sched.Estimator, lut *trace.StatsSet) []struct {
+	name string
+	mk   func() sched.Scheduler
+} {
+	return []struct {
+		name string
+		mk   func() sched.Scheduler
+	}{
+		{"FCFS", func() sched.Scheduler { return sched.NewFCFS() }},
+		{"SJF", func() sched.Scheduler { return sched.NewSJF(est) }},
+		{"PREMA", func() sched.Scheduler { return sched.NewPREMA(est) }},
+		{"Planaria", func() sched.Scheduler { return sched.NewPlanaria(est) }},
+		{"SDRM3", func() sched.Scheduler { return sched.NewSDRM3(est) }},
+		{"Oracle", func() sched.Scheduler { return sched.NewOracle(0.05) }},
+	}
+}
+
+// dispatchers returns a fresh instance of every dispatch policy.
+func dispatchers(est *sched.Estimator, lut *trace.StatsSet) []Dispatcher {
+	return []Dispatcher{
+		NewRoundRobin(),
+		NewJSQ(),
+		NewLeastLoad("blind-load", BlindLoad(est)),
+		NewLeastLoad("sparse-load", SparsityAwareLoad(lut)),
+	}
+}
+
+// TestSingleEngineMatchesRun: a 1-engine cluster is bit-identical to
+// sched.Run — metrics, per-task outcomes and the execution timeline — for
+// every scheduler under every dispatcher (with one engine, every policy
+// must route everything to it).
+func TestSingleEngineMatchesRun(t *testing.T) {
+	for seed := uint64(1); seed <= 15; seed++ {
+		reqs, est, lut := randomStream(seed, 30)
+		opts := sched.Options{RecordTimeline: true, RecordTasks: true}
+		for _, spec := range schedSpecs(est, lut) {
+			want, err := sched.Run(spec.mk(), reqs, opts)
+			if err != nil {
+				t.Fatalf("%s Run (seed %d): %v", spec.name, seed, err)
+			}
+			for _, d := range dispatchers(est, lut) {
+				got, err := Run(func(int) sched.Scheduler { return spec.mk() }, reqs,
+					Config{Engines: 1, Dispatch: d, Sched: opts})
+				if err != nil {
+					t.Fatalf("%s/%s (seed %d): %v", spec.name, d.Name(), seed, err)
+				}
+				if !reflect.DeepEqual(got.Result, want) {
+					t.Fatalf("%s/%s (seed %d): 1-engine cluster diverges from sched.Run:\n%+v\nvs\n%+v",
+						spec.name, d.Name(), seed, got.Result, want)
+				}
+				if len(got.PerEngine) != 1 || !reflect.DeepEqual(got.PerEngine[0], want) {
+					t.Fatalf("%s/%s (seed %d): per-engine result diverges", spec.name, d.Name(), seed)
+				}
+			}
+		}
+	}
+}
+
+// TestClusterInvariants: every request completes exactly once, aggregate
+// counts match, and the health metrics stay in range, across engine
+// counts, dispatchers and schedulers.
+func TestClusterInvariants(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		reqs, est, lut := randomStream(seed, 60)
+		for _, engines := range []int{1, 2, 3, 5} {
+			for _, d := range dispatchers(est, lut) {
+				for _, spec := range schedSpecs(est, lut) {
+					res, err := Run(func(int) sched.Scheduler { return spec.mk() }, reqs,
+						Config{Engines: engines, Dispatch: d})
+					if err != nil {
+						t.Fatalf("%s/%s/%d (seed %d): %v", spec.name, d.Name(), engines, seed, err)
+					}
+					if res.Requests != len(reqs) {
+						t.Errorf("%s/%s/%d: %d of %d requests completed",
+							spec.name, d.Name(), engines, res.Requests, len(reqs))
+					}
+					var perEngineTotal int
+					for _, r := range res.PerEngine {
+						perEngineTotal += r.Requests
+					}
+					if perEngineTotal != len(reqs) {
+						t.Errorf("%s/%s/%d: per-engine totals %d", spec.name, d.Name(), engines, perEngineTotal)
+					}
+					if res.ANTT < 1 {
+						t.Errorf("%s/%s/%d: ANTT %v < 1", spec.name, d.Name(), engines, res.ANTT)
+					}
+					if res.ViolationRate < 0 || res.ViolationRate > 1 {
+						t.Errorf("%s/%s/%d: violation rate %v", spec.name, d.Name(), engines, res.ViolationRate)
+					}
+					if res.Utilization < 0 || res.Utilization > 1+1e-9 {
+						t.Errorf("%s/%s/%d: utilization %v", spec.name, d.Name(), engines, res.Utilization)
+					}
+					if res.Imbalance < 1-1e-9 && res.Imbalance != 0 {
+						t.Errorf("%s/%s/%d: imbalance %v < 1", spec.name, d.Name(), engines, res.Imbalance)
+					}
+					if res.Tasks != nil {
+						t.Errorf("%s/%s/%d: Tasks recorded without RecordTasks", spec.name, d.Name(), engines)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestClusterDeterministic: identical inputs give identical results.
+func TestClusterDeterministic(t *testing.T) {
+	reqs, est, lut := randomStream(42, 80)
+	for _, mkDispatch := range []func() Dispatcher{
+		func() Dispatcher { return NewRoundRobin() },
+		func() Dispatcher { return NewJSQ() },
+		func() Dispatcher { return NewLeastLoad("sparse-load", SparsityAwareLoad(lut)) },
+	} {
+		run := func() Result {
+			res, err := Run(func(int) sched.Scheduler { return sched.NewSJF(est) }, reqs,
+				Config{Engines: 3, Dispatch: mkDispatch(), Sched: sched.Options{RecordTasks: true}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}
+		a, b := run(), run()
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: nondeterministic cluster results", mkDispatch().Name())
+		}
+	}
+}
+
+// TestThroughputScalesWithEngines: at a rate that saturates one engine,
+// adding engines must raise completed-work throughput.
+func TestThroughputScalesWithEngines(t *testing.T) {
+	reqs, est, _ := randomStream(7, 200)
+	// Compress arrivals to saturate a single engine hard.
+	for _, r := range reqs {
+		r.Arrival /= 20
+	}
+	prev := 0.0
+	for _, engines := range []int{1, 2, 4} {
+		res, err := Run(func(int) sched.Scheduler { return sched.NewSJF(est) }, reqs,
+			Config{Engines: engines, Dispatch: NewJSQ()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if engines > 1 && res.Throughput <= prev {
+			t.Errorf("throughput did not scale: %d engines %.1f inf/s, previous %.1f",
+				engines, res.Throughput, prev)
+		}
+		prev = res.Throughput
+	}
+}
+
+// TestLoadAwareBeatsRoundRobinImbalance: under a saturating stream,
+// load-aware dispatch must not be more imbalanced than round-robin, and
+// JSQ must spread requests across all engines.
+func TestLoadAwareBeatsRoundRobinImbalance(t *testing.T) {
+	reqs, est, lut := randomStream(11, 300)
+	for _, r := range reqs {
+		r.Arrival /= 10
+	}
+	run := func(d Dispatcher) Result {
+		res, err := Run(func(int) sched.Scheduler { return sched.NewSJF(est) }, reqs,
+			Config{Engines: 4, Dispatch: d})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	rr := run(NewRoundRobin())
+	jsq := run(NewJSQ())
+	load := run(NewLeastLoad("sparse-load", SparsityAwareLoad(lut)))
+	for _, r := range jsq.PerEngine {
+		if r.Requests == 0 {
+			t.Error("JSQ left an engine idle under saturation")
+		}
+	}
+	// Load-aware dispatch balances busy time at least as well as blind
+	// round-robin (tolerance for the last-request boundary).
+	if load.Imbalance > rr.Imbalance*1.10 {
+		t.Errorf("sparse-load imbalance %.3f much worse than round-robin %.3f",
+			load.Imbalance, rr.Imbalance)
+	}
+	if math.IsNaN(load.Utilization) || load.Utilization <= 0 {
+		t.Errorf("utilization %v", load.Utilization)
+	}
+}
+
+// TestDispatcherBoundsChecked: a broken dispatcher index fails the run
+// instead of panicking.
+func TestDispatcherBoundsChecked(t *testing.T) {
+	reqs, est, _ := randomStream(3, 5)
+	if _, err := Run(func(int) sched.Scheduler { return sched.NewSJF(est) }, reqs,
+		Config{Engines: 2, Dispatch: badDispatcher{}}); err == nil {
+		t.Fatal("out-of-range dispatch accepted")
+	}
+	if _, err := Run(func(int) sched.Scheduler { return sched.NewSJF(est) }, nil,
+		Config{Engines: 2}); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+	if _, err := Run(func(int) sched.Scheduler { return sched.NewSJF(est) }, reqs,
+		Config{Engines: 0}); err == nil {
+		t.Fatal("zero engines accepted")
+	}
+}
+
+type badDispatcher struct{}
+
+func (badDispatcher) Name() string { return "bad" }
+func (badDispatcher) Pick([]*sched.Engine, *workload.Request, time.Duration) int {
+	return 99
+}

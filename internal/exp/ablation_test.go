@@ -41,8 +41,8 @@ func TestAblationIDsRegistered(t *testing.T) {
 		}
 	}
 	all := AllIDs()
-	if len(all) != len(IDs())+len(ids) {
-		t.Errorf("AllIDs has %d entries, want %d", len(all), len(IDs())+len(ids))
+	if len(all) != len(IDs())+len(ids)+len(ScaleIDs()) {
+		t.Errorf("AllIDs has %d entries, want %d", len(all), len(IDs())+len(ids)+len(ScaleIDs()))
 	}
 }
 

@@ -1,0 +1,135 @@
+package exp
+
+import (
+	"fmt"
+
+	"sparsedysta/internal/cluster"
+	"sparsedysta/internal/sched"
+	"sparsedysta/internal/workload"
+)
+
+// DispatchPolicies lists the cluster dispatch policy names accepted by
+// Options.Dispatch (and the CLIs' -dispatch flag), in presentation order.
+var DispatchPolicies = []string{"rr", "jsq", "load", "blind-load"}
+
+// NewDispatcher builds a fresh dispatcher for the named policy, wired to
+// the pipeline's profiling artefacts (the sparsity-aware policy reads the
+// Dysta LUT; the blind one the pattern-merged Estimator). Dispatchers are
+// stateful, so every simulation cell gets its own instance.
+func NewDispatcher(name string, p *Pipeline) (cluster.Dispatcher, error) {
+	switch name {
+	case "", "rr":
+		return cluster.NewRoundRobin(), nil
+	case "jsq":
+		return cluster.NewJSQ(), nil
+	case "load":
+		return cluster.NewLeastLoad("load", cluster.SparsityAwareLoad(p.LUT)), nil
+	case "blind-load":
+		return cluster.NewLeastLoad("blind-load", cluster.BlindLoad(p.Est)), nil
+	}
+	return nil, fmt.Errorf("exp: unknown dispatch policy %q (valid: %v)", name, DispatchPolicies)
+}
+
+// EngineCounts is the scale-engines sweep grid.
+var EngineCounts = []int{1, 2, 4, 8}
+
+// ScaleEngines is the multi-accelerator scaling experiment: the full
+// scheduler lineup on the AttNN workload across engine counts and
+// dispatch policies, at an arrival rate pinned to the saturation knee of
+// one engine (just above the ~30 req/s capacity the Fig. 15 sweep
+// locates, scaled with the engine count so per-engine pressure stays
+// constant). The knee is where dispatch quality matters most: transient
+// imbalance leaves one engine idle while another queues, which round-robin
+// cannot see, queue length partially sees, and predicted load sees best.
+// The experiment answers the two questions a sharded deployment asks:
+// does throughput scale with engines, and how much does load-aware (and
+// sparsity-aware) dispatch buy over round-robin at saturating load.
+func ScaleEngines(opts Options) ([]Artifact, error) {
+	const ratePerEngine = 33.0 // just past the single-engine knee (Fig. 15)
+	policies := []string{"rr", "jsq", "load"}
+
+	p, err := NewPipeline(workload.MultiAttNN(), opts, 7)
+	if err != nil {
+		return nil, err
+	}
+
+	tbl := &Table{
+		ID:    "scale-engines",
+		Title: fmt.Sprintf("multi-attnn at %.0f req/s per engine: scaling vs engine count and dispatch", ratePerEngine),
+		Columns: []string{"dispatch", "engines", "scheduler",
+			"viol%", "ANTT", "throughput (inf/s)"},
+		Notes: []string{
+			"arrival rate scales with the engine count, so per-engine pressure is constant",
+			"dispatch policies: rr = round-robin, jsq = join-shortest-queue, load = sparsity-aware least-predicted-load (Dysta LUT)",
+		},
+	}
+	specs := StandardScheds()
+	xs := make([]float64, len(EngineCounts))
+	for i, n := range EngineCounts {
+		xs[i] = float64(n)
+	}
+	mkSeries := func(ylabel string) *Series {
+		return &Series{
+			ID:     "scale-engines",
+			Title:  "Dysta under each dispatch policy",
+			XLabel: "engines",
+			YLabel: ylabel,
+			X:      xs,
+			Lines:  map[string][]float64{},
+			Order:  policies,
+		}
+	}
+	viol, stp := mkSeries("SLO violation rate (%)"), mkSeries("throughput (inf/s)")
+
+	// A 1-engine run has nothing to dispatch, so its results are policy-
+	// independent: run that column once, emit it under a "-" dispatch
+	// label, and share its value as every policy's series anchor.
+	var single map[string]sched.Result
+	runCount := func(policy string, engines int) (map[string]sched.Result, error) {
+		if engines == 1 && single != nil {
+			return single, nil
+		}
+		o := opts
+		o.Engines = engines
+		o.Dispatch = policy
+		grid, err := p.RunGrid(specs, []Point{{Rate: ratePerEngine * float64(engines), MSLO: 10}}, o)
+		if err != nil {
+			return nil, err
+		}
+		if engines == 1 {
+			single = grid[0].Results
+		}
+		return grid[0].Results, nil
+	}
+	addRows := func(policy string, engines int, rs map[string]sched.Result) {
+		label := policy
+		if engines == 1 {
+			label = "-"
+		}
+		for _, spec := range specs {
+			r := rs[spec.Name]
+			tbl.Rows = append(tbl.Rows, []string{
+				label, fmt.Sprintf("%d", engines), spec.Name,
+				fmt.Sprintf("%.1f", 100*r.ViolationRate),
+				fmt.Sprintf("%.2f", r.ANTT),
+				fmt.Sprintf("%.1f", r.Throughput),
+			})
+		}
+	}
+
+	for pi, policy := range policies {
+		for _, engines := range EngineCounts {
+			rs, err := runCount(policy, engines)
+			if err != nil {
+				return nil, err
+			}
+			if engines != 1 || pi == 0 {
+				addRows(policy, engines, rs)
+			}
+			r := rs["Dysta"]
+			viol.Lines[policy] = append(viol.Lines[policy], 100*r.ViolationRate)
+			stp.Lines[policy] = append(stp.Lines[policy], r.Throughput)
+		}
+	}
+	return []Artifact{tbl, stp, viol}, nil
+}

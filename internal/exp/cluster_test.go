@@ -1,0 +1,177 @@
+package exp
+
+import (
+	"encoding/json"
+	"reflect"
+	"strconv"
+	"testing"
+
+	"sparsedysta/internal/cluster"
+	"sparsedysta/internal/sched"
+	"sparsedysta/internal/workload"
+)
+
+// TestClusterCellMatchesSingleEngine: a 1-engine cluster cell must be
+// byte-identical to the plain sched.Run cell for every dispatch policy —
+// the exp-layer end of the cluster equivalence chain (runCell routes
+// Engines <= 1 to sched.Run, so this also pins that gate: a 1-engine
+// cluster and the direct path agree, whichever runs).
+func TestClusterCellMatchesSingleEngine(t *testing.T) {
+	opts := tiny()
+	p, err := NewPipeline(workloadAttNN(), opts, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := StandardScheds()
+	want, err := p.RunPoint(specs, 30, 10, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, policy := range DispatchPolicies {
+		// Engines=1 through the options surface.
+		o := opts
+		o.Engines = 1
+		o.Dispatch = policy
+		got, err := p.RunPoint(specs, 30, 10, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := json.Marshal(got)
+		if string(wantJSON) != string(b) {
+			t.Errorf("dispatch=%s engines=1 diverges from the single-engine path", policy)
+		}
+		// A true 1-engine cluster.Run cell, via the same dispatcher
+		// factory runCell uses.
+		for _, spec := range specs {
+			d, err := NewDispatcher(policy, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reqs, err := workload.Generate(p.Scenario, p.Eval, workload.GenConfig{
+				Requests: opts.Requests, RatePerSec: 30, SLOMultiplier: 10, Seed: cellSeed(0)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cres, err := cluster.Run(func(int) sched.Scheduler { return spec.New(p) }, reqs,
+				cluster.Config{Engines: 1, Dispatch: d})
+			if err != nil {
+				t.Fatal(err)
+			}
+			direct, err := sched.Run(spec.New(p), reqs, sched.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(cres.Result, direct) {
+				t.Errorf("%s/%s: 1-engine cluster cell diverges from sched.Run", spec.Name, policy)
+			}
+		}
+	}
+}
+
+// TestClusterGridRuns: the parallel grid runner executes multi-engine
+// cells, all requests complete, and results are deterministic across
+// worker counts.
+func TestClusterGridRuns(t *testing.T) {
+	opts := tiny()
+	opts.Engines = 3
+	opts.Dispatch = "load"
+	p, err := NewPipeline(workloadAttNN(), opts, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := StandardScheds()
+	seq := opts
+	seq.Workers = 1
+	want, err := p.RunPoint(specs, 90, 10, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := opts
+	par.Workers = 8
+	got, err := p.RunPoint(specs, 90, 10, par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(want)
+	b, _ := json.Marshal(got)
+	if string(a) != string(b) {
+		t.Error("multi-engine grid results differ across worker counts")
+	}
+	for name, r := range got {
+		if r.Requests != opts.Requests {
+			t.Errorf("%s: %d of %d requests completed", name, r.Requests, opts.Requests)
+		}
+	}
+}
+
+// TestUnknownDispatchRejected: a bad policy name surfaces as an error.
+func TestUnknownDispatchRejected(t *testing.T) {
+	opts := tiny()
+	opts.Engines = 2
+	opts.Dispatch = "nope"
+	p, err := NewPipeline(workloadAttNN(), opts, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.RunPoint(StandardScheds()[:1], 30, 10, opts); err == nil {
+		t.Fatal("unknown dispatch policy accepted")
+	}
+}
+
+// TestScaleEnginesRegistered: the experiment is reachable through Lookup
+// and produces the scaling table plus the two Dysta series.
+func TestScaleEnginesRegistered(t *testing.T) {
+	if _, err := Lookup("scale-engines"); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, id := range AllIDs() {
+		if id == "scale-engines" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("scale-engines missing from AllIDs")
+	}
+}
+
+// TestScaleEnginesThroughputScales runs the experiment at a tiny protocol
+// and checks the headline property: Dysta's throughput grows with the
+// engine count under every dispatch policy.
+func TestScaleEnginesThroughputScales(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-point sweep")
+	}
+	opts := tiny()
+	opts.Requests = 200
+	arts, err := ScaleEngines(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arts) != 3 {
+		t.Fatalf("got %d artifacts", len(arts))
+	}
+	stp, ok := arts[1].(*Series)
+	if !ok || stp.YLabel != "throughput (inf/s)" {
+		t.Fatalf("second artifact is not the throughput series: %+v", arts[1])
+	}
+	for policy, ys := range stp.Lines {
+		if len(ys) != len(EngineCounts) {
+			t.Fatalf("%s: %d points, want %d", policy, len(ys), len(EngineCounts))
+		}
+		if ys[len(ys)-1] <= ys[0] {
+			t.Errorf("%s: throughput did not scale with engines: %v", policy, ys)
+		}
+	}
+	// The table's engine column is well-formed.
+	tbl := arts[0].(*Table)
+	for _, row := range tbl.Rows {
+		if _, err := strconv.Atoi(row[1]); err != nil {
+			t.Fatalf("bad engines cell %q", row[1])
+		}
+	}
+}

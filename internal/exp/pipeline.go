@@ -25,6 +25,15 @@ type Options struct {
 	// (RunGrid/RunPoint). 0 means GOMAXPROCS; 1 forces sequential
 	// execution. Results are bit-identical for any value.
 	Workers int
+	// Engines is the number of simulated accelerators per run. 0 or 1
+	// uses the single-engine sched.Run path; larger values route the
+	// request stream through internal/cluster behind the Dispatch policy.
+	Engines int
+	// Dispatch names the cluster dispatch policy for Engines > 1:
+	// "rr" (round-robin, the default), "jsq" (join-shortest-queue),
+	// "load" (sparsity-aware least-predicted-load via the Dysta LUT), or
+	// "blind-load" (least-predicted-load on the pattern-blind estimator).
+	Dispatch string
 }
 
 // DefaultOptions returns the paper-scale protocol.

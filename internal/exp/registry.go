@@ -34,6 +34,8 @@ var registry = map[string]Runner{
 	"ablation-overhead": AblationOverhead,
 	"ablation-fifo":     AblationFIFO,
 	"ablation-glb":      AblationGLB,
+
+	"scale-engines": ScaleEngines,
 }
 
 // order is the presentation order of the paper artefacts.
@@ -58,8 +60,15 @@ func AblationIDs() []string {
 	return out
 }
 
-// AllIDs returns every registered id: paper artefacts then ablations.
-func AllIDs() []string { return append(IDs(), AblationIDs()...) }
+// scale lists the beyond-the-paper scaling studies.
+var scale = []string{"scale-engines"}
+
+// ScaleIDs returns the scaling-study experiment ids.
+func ScaleIDs() []string { return append([]string(nil), scale...) }
+
+// AllIDs returns every registered id: paper artefacts, then ablations,
+// then scaling studies.
+func AllIDs() []string { return append(append(IDs(), AblationIDs()...), ScaleIDs()...) }
 
 // Lookup returns the runner for an experiment id.
 func Lookup(id string) (Runner, error) {

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 
+	"sparsedysta/internal/cluster"
 	"sparsedysta/internal/sched"
 	"sparsedysta/internal/workload"
 )
@@ -47,6 +48,19 @@ func (p *Pipeline) runCell(spec SchedSpec, pt Point, seed int, opts Options) (sc
 	})
 	if err != nil {
 		return sched.Result{}, fmt.Errorf("exp: generating %s workload: %w", p.Scenario.Name, err)
+	}
+	if opts.Engines > 1 {
+		d, err := NewDispatcher(opts.Dispatch, p)
+		if err != nil {
+			return sched.Result{}, err
+		}
+		cres, err := cluster.Run(func(int) sched.Scheduler { return spec.New(p) }, reqs,
+			cluster.Config{Engines: opts.Engines, Dispatch: d})
+		if err != nil {
+			return sched.Result{}, fmt.Errorf("exp: running %s on %d engines: %w",
+				spec.Name, opts.Engines, err)
+		}
+		return cres.Result, nil
 	}
 	res, err := sched.Run(spec.New(p), reqs, sched.Options{})
 	if err != nil {

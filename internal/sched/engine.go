@@ -27,158 +27,227 @@ type Options struct {
 	ReferencePick bool
 }
 
-// Result aggregates one simulation run's metrics (paper §6.1).
-type Result struct {
-	Scheduler string
-	// ANTT is the average normalized turnaround time:
-	// mean(T_multi / T_isol) over requests.
-	ANTT float64
-	// ViolationRate is the fraction of requests finishing past
-	// Arrival + SLO.
-	ViolationRate float64
-	// Throughput is completed requests per second of makespan (the
-	// paper's STP, inf/s).
-	Throughput float64
-	// MeanLatency and P99Latency summarize multi-tenant turnaround.
-	MeanLatency time.Duration
-	P99Latency  time.Duration
-	// Preemptions counts scheduling decisions that switched tasks while
-	// the previous choice still had layers left.
-	Preemptions int
-	// Requests is the number of simulated requests.
-	Requests int
-	// Makespan is the time from first arrival to last completion.
-	Makespan time.Duration
-	// PerModel breaks ANTT and violation rate down by model name; short
-	// and long tenants often fare very differently under the same
-	// scheduler.
-	PerModel map[string]ModelMetrics
-	// Timeline is the execution schedule (only with
-	// Options.RecordTimeline).
-	Timeline *Timeline
-	// Tasks holds per-request outcomes (only with Options.RecordTasks).
-	Tasks []TaskOutcome
+// Engine is one steppable simulated accelerator: a discrete-event,
+// layer-granularity preemptive scheduling engine whose clock advances one
+// scheduling decision at a time. Callers inject requests (Inject), advance
+// the simulation event by event (Step), and finalize the metrics (Finish).
+// Run drives a single engine to completion; internal/cluster interleaves
+// many engines' events on one virtual clock.
+//
+// The contract that makes multi-engine composition deterministic:
+//
+//   - Requests must be injected before the engine's clock passes their
+//     arrival (Step never rewinds). The engine delivers an injected
+//     request to its scheduler at the first scheduling point at or after
+//     the request's arrival, exactly as Run always has.
+//   - Step executes exactly one layer of the picked task (plus any idle
+//     jump to the next pending arrival) and returns the engine clock
+//     after it, which is the time of the next scheduling decision.
+//   - NextEvent never mutates state, so an orchestrator can order N
+//     engines' events globally before committing any of them.
+type Engine struct {
+	s    Scheduler
+	inc  IncrementalScheduler
+	opts Options
+
+	now     time.Duration
+	ready   ReadyQueue
+	pending pendingQueue
+
+	injected     int
+	firstArrival time.Duration
+	last         *Task
+	preempts     int
+	busy         time.Duration
+
+	done       []*Task
+	turnRatios []float64
+	latencies  []float64
+	timeline   *Timeline
+	finished   bool
 }
 
-// ModelMetrics aggregates one model's requests within a run.
-type ModelMetrics struct {
-	Requests      int
-	ANTT          float64
-	ViolationRate float64
-}
-
-// TaskOutcome is one request's final accounting.
-type TaskOutcome struct {
-	ID         int
-	Model      string
-	Arrival    time.Duration
-	Completion time.Duration
-	Isolated   time.Duration
-	// NTT is the normalized turnaround (T_multi / T_isol).
-	NTT float64
-	// Violated reports a missed deadline.
-	Violated bool
-}
-
-// Run simulates the request stream under the scheduler and returns the
-// aggregated metrics. Requests are processed on a single time-shared
-// accelerator; preemption happens only at layer boundaries.
-func Run(s Scheduler, reqs []*workload.Request, opts Options) (Result, error) {
-	if len(reqs) == 0 {
-		return Result{}, fmt.Errorf("sched: empty request stream")
+// NewEngine returns an idle engine at virtual time zero driving the
+// scheduler. Exactly one scheduler instance must own each engine:
+// schedulers carry per-run state (heaps, per-task attachments).
+func NewEngine(s Scheduler, opts Options) *Engine {
+	e := &Engine{s: s, opts: opts}
+	if inc, ok := s.(IncrementalScheduler); ok && !opts.ReferencePick {
+		e.inc = inc
 	}
-	pending := make([]*Task, len(reqs))
-	sorted := append([]*workload.Request(nil), reqs...)
-	workload.SortByArrival(sorted)
-	for i, r := range sorted {
-		pending[i] = newTask(r)
-	}
-
-	var (
-		now        time.Duration
-		ready      ReadyQueue
-		done       []*Task
-		nextIdx    int
-		last       *Task
-		preempts   int
-		turnRatios []float64
-		latencies  []float64
-		timeline   *Timeline
-	)
 	if opts.RecordTimeline {
-		timeline = &Timeline{}
+		e.timeline = &Timeline{}
 	}
-	inc, _ := s.(IncrementalScheduler)
-	if opts.ReferencePick {
-		inc = nil
+	return e
+}
+
+// Inject makes a request known to the engine. now is the caller's virtual
+// time of the injection; the request becomes visible to the scheduler at
+// the first scheduling point at or after max(r.Arrival, now), so a late
+// injection (a dispatcher that held the request back) delays delivery but
+// never rewrites history. Injecting after Finish is an error.
+func (e *Engine) Inject(r *workload.Request, now time.Duration) error {
+	if e.finished {
+		return fmt.Errorf("sched: Inject after Finish")
+	}
+	t := newTask(r)
+	eff := t.Arrival
+	if now > eff {
+		eff = now
+	}
+	if e.injected == 0 || t.Arrival < e.firstArrival {
+		e.firstArrival = t.Arrival
+	}
+	e.injected++
+	e.pending.push(t, eff)
+	return nil
+}
+
+// Drained reports whether every injected request has completed.
+func (e *Engine) Drained() bool { return e.ready.Len() == 0 && e.pending.len() == 0 }
+
+// Now returns the engine's virtual clock: the time of its last scheduling
+// decision (or idle jump).
+func (e *Engine) Now() time.Duration { return e.now }
+
+// NextEvent returns the virtual time of the engine's next scheduling
+// decision. ok is false when the engine is drained (nothing to schedule
+// until the next Inject). It never mutates engine state.
+func (e *Engine) NextEvent() (next time.Duration, ok bool) {
+	if e.ready.Len() > 0 {
+		return e.now, true
+	}
+	eff, ok := e.pending.minTime()
+	if !ok {
+		return 0, false
+	}
+	if eff < e.now {
+		eff = e.now
+	}
+	return eff, true
+}
+
+// Outstanding returns the number of requests injected but not yet
+// completed (queued, running, or awaiting delivery).
+func (e *Engine) Outstanding() int { return e.ready.Len() + e.pending.len() }
+
+// Completed returns the number of finished requests.
+func (e *Engine) Completed() int { return len(e.done) }
+
+// BusyTime returns the accumulated accelerator-occupied time: executed
+// layer latency plus charged preemption overhead.
+func (e *Engine) BusyTime() time.Duration { return e.busy }
+
+// EstimatedBacklog sums load(t) over every outstanding task, the
+// engine-load signal cluster dispatchers use. load typically wraps a
+// profiling estimate (Estimator.Remaining, or the Dysta LUT's per-pattern
+// AvgRemaining); it must not mutate the task.
+func (e *Engine) EstimatedBacklog(load func(*Task) time.Duration) time.Duration {
+	var sum time.Duration
+	for _, t := range e.ready.Tasks() {
+		sum += load(t)
+	}
+	for i := range e.pending.entries {
+		sum += load(e.pending.entries[i].t)
+	}
+	return sum
+}
+
+// deliver hands every pending request visible at or before the clock to
+// the scheduler, in (visibility, injection order) order.
+func (e *Engine) deliver() {
+	for {
+		t, ok := e.pending.popAtOrBefore(e.now)
+		if !ok {
+			return
+		}
+		e.ready.add(t)
+		e.s.OnArrival(t, e.now)
+	}
+}
+
+// Step advances the simulation by one scheduling decision: deliver due
+// arrivals (jumping the clock over an idle gap if nothing is ready),
+// invoke the scheduler, execute one layer of the picked task, and notify
+// the scheduler of its completion. It returns the engine clock after the
+// layer — the time of the next scheduling decision. Calling Step on a
+// drained or finished engine is an error.
+func (e *Engine) Step() (time.Duration, error) {
+	if e.finished {
+		return 0, fmt.Errorf("sched: Step after Finish")
+	}
+	e.deliver()
+	if e.ready.Len() == 0 {
+		eff, ok := e.pending.minTime()
+		if !ok {
+			return 0, fmt.Errorf("sched: Step on a drained engine")
+		}
+		// Idle: jump to the next arrival.
+		e.now = eff
+		e.deliver()
 	}
 
-	deliver := func() {
-		for nextIdx < len(pending) && pending[nextIdx].Arrival <= now {
-			t := pending[nextIdx]
-			ready.add(t)
-			s.OnArrival(t, now)
-			nextIdx++
-		}
+	var pick *Task
+	if e.inc != nil {
+		pick = e.inc.PickNextIncremental(&e.ready, e.now)
+	} else {
+		pick = e.s.PickNext(e.ready.Tasks(), e.now)
 	}
-
-	for len(done) < len(pending) {
-		deliver()
-		if ready.Len() == 0 {
-			// Idle: jump to the next arrival.
-			now = pending[nextIdx].Arrival
-			deliver()
-		}
-
-		var pick *Task
-		if inc != nil {
-			pick = inc.PickNextIncremental(&ready, now)
-		} else {
-			pick = s.PickNext(ready.Tasks(), now)
-		}
-		if pick == nil || !ready.Contains(pick) {
-			return Result{}, fmt.Errorf("sched: %s picked a task outside the ready queue", s.Name())
-		}
-		if last != nil && last != pick && !last.Done {
-			preempts++
-			now += opts.PreemptionOverhead
-		}
-		last = pick
-
-		layer := pick.NextLayer
-		dur := pick.nextLayerLatency()
-		if timeline != nil {
-			timeline.record(pick.ID, now, now+dur)
-		}
-		now += dur
-		pick.ExecTime += dur
-		pick.LastRun = now
-		pick.NextLayer++
-		pick.trueRemaining -= dur
-		if pick.NextLayer == pick.NumLayers() {
-			// Mark completion before notifying the scheduler, so
-			// OnLayerComplete implementations can release their per-task
-			// state on the final layer.
-			pick.Done = true
-			pick.Completion = now
-			ready.remove(pick)
-			done = append(done, pick)
-			turn := now - pick.Arrival
-			turnRatios = append(turnRatios, float64(turn)/float64(pick.TrueIsolated()))
-			latencies = append(latencies, float64(turn))
-		}
-		s.OnLayerComplete(pick, layer, pick.monitoredSparsity(layer), now)
+	if pick == nil || !e.ready.Contains(pick) {
+		return 0, fmt.Errorf("sched: %s picked a task outside the ready queue", e.s.Name())
 	}
-
-	res := Result{
-		Scheduler:   s.Name(),
-		ANTT:        stats.Mean(turnRatios),
-		Preemptions: preempts,
-		Requests:    len(done),
+	if e.last != nil && e.last != pick && !e.last.Done {
+		e.preempts++
+		e.now += e.opts.PreemptionOverhead
+		e.busy += e.opts.PreemptionOverhead
 	}
+	e.last = pick
+
+	layer := pick.NextLayer
+	dur := pick.nextLayerLatency()
+	if e.timeline != nil {
+		e.timeline.record(pick.ID, e.now, e.now+dur)
+	}
+	e.now += dur
+	e.busy += dur
+	pick.ExecTime += dur
+	pick.LastRun = e.now
+	pick.NextLayer++
+	pick.trueRemaining -= dur
+	if pick.NextLayer == pick.NumLayers() {
+		// Mark completion before notifying the scheduler, so
+		// OnLayerComplete implementations can release their per-task
+		// state on the final layer.
+		pick.Done = true
+		pick.Completion = e.now
+		e.ready.remove(pick)
+		e.done = append(e.done, pick)
+		turn := e.now - pick.Arrival
+		e.turnRatios = append(e.turnRatios, float64(turn)/float64(pick.TrueIsolated()))
+		e.latencies = append(e.latencies, float64(turn))
+	}
+	e.s.OnLayerComplete(pick, layer, pick.monitoredSparsity(layer), e.now)
+	return e.now, nil
+}
+
+// Finish seals the engine and aggregates the run's metrics. Stepping or
+// injecting afterwards is an error; calling Finish twice returns the same
+// Result recomputed from the same completed set. Finalizing an undrained
+// engine is allowed (deadline-bounded simulations stop mid-stream), but
+// the metrics then cover only the completed requests: Result.Dropped
+// counts the outstanding ones so the truncation is never silent.
+func (e *Engine) Finish() Result {
+	e.finished = true
+	res := Result{Scheduler: e.s.Name(), Dropped: e.injected - len(e.done)}
+	if len(e.done) == 0 {
+		return res
+	}
+	res.ANTT = stats.Mean(e.turnRatios)
+	res.Preemptions = e.preempts
+	res.Requests = len(e.done)
 	violations := 0
 	var lastDone time.Duration
-	for _, t := range done {
+	for _, t := range e.done {
 		if t.Violated(t.Completion) {
 			violations++
 		}
@@ -186,15 +255,15 @@ func Run(s Scheduler, reqs []*workload.Request, opts Options) (Result, error) {
 			lastDone = t.Completion
 		}
 	}
-	res.ViolationRate = float64(violations) / float64(len(done))
-	res.MeanLatency = time.Duration(stats.Mean(latencies))
-	res.P99Latency = time.Duration(stats.Percentile(latencies, 99))
-	res.Makespan = lastDone - pending[0].Arrival
+	res.ViolationRate = float64(violations) / float64(len(e.done))
+	res.MeanLatency = time.Duration(stats.Mean(e.latencies))
+	res.P99Latency = time.Duration(stats.Percentile(e.latencies, 99))
+	res.Makespan = lastDone - e.firstArrival
 	if res.Makespan > 0 {
-		res.Throughput = float64(len(done)) / res.Makespan.Seconds()
+		res.Throughput = float64(len(e.done)) / res.Makespan.Seconds()
 	}
 	res.PerModel = map[string]ModelMetrics{}
-	for _, t := range done {
+	for _, t := range e.done {
 		m := res.PerModel[t.Key.Model]
 		m.Requests++
 		m.ANTT += float64(t.Completion-t.Arrival) / float64(t.TrueIsolated())
@@ -208,10 +277,10 @@ func Run(s Scheduler, reqs []*workload.Request, opts Options) (Result, error) {
 		m.ViolationRate /= float64(m.Requests)
 		res.PerModel[name] = m
 	}
-	res.Timeline = timeline
-	if opts.RecordTasks {
-		res.Tasks = make([]TaskOutcome, 0, len(done))
-		for _, t := range done {
+	res.Timeline = e.timeline
+	if e.opts.RecordTasks {
+		res.Tasks = make([]TaskOutcome, 0, len(e.done))
+		for _, t := range e.done {
 			res.Tasks = append(res.Tasks, TaskOutcome{
 				ID:         t.ID,
 				Model:      t.Key.Model,
@@ -224,66 +293,106 @@ func Run(s Scheduler, reqs []*workload.Request, opts Options) (Result, error) {
 		}
 		sort.Slice(res.Tasks, func(i, j int) bool { return res.Tasks[i].ID < res.Tasks[j].ID })
 	}
-	return res, nil
+	return res
 }
 
-// AverageResults averages the metric fields of per-seed results of the
-// same scheduler, the paper's five-seed reporting protocol (§6.1).
-func AverageResults(rs []Result) Result {
-	if len(rs) == 0 {
-		return Result{}
+// Run simulates the request stream under the scheduler and returns the
+// aggregated metrics: a thin loop over the steppable Engine API. Requests
+// are processed on a single time-shared accelerator; preemption happens
+// only at layer boundaries.
+func Run(s Scheduler, reqs []*workload.Request, opts Options) (Result, error) {
+	if len(reqs) == 0 {
+		return Result{}, fmt.Errorf("sched: empty request stream")
 	}
-	avg := Result{Scheduler: rs[0].Scheduler, PerModel: map[string]ModelMetrics{}}
-	var meanLat, p99Lat, makespan float64
-	for _, r := range rs {
-		avg.ANTT += r.ANTT
-		avg.ViolationRate += r.ViolationRate
-		avg.Throughput += r.Throughput
-		avg.Preemptions += r.Preemptions
-		avg.Requests += r.Requests
-		meanLat += float64(r.MeanLatency)
-		p99Lat += float64(r.P99Latency)
-		makespan += float64(r.Makespan)
-		for name, m := range r.PerModel {
-			agg := avg.PerModel[name]
-			agg.Requests += m.Requests
-			// Weight per-seed means by their request counts.
-			agg.ANTT += m.ANTT * float64(m.Requests)
-			agg.ViolationRate += m.ViolationRate * float64(m.Requests)
-			avg.PerModel[name] = agg
+	sorted := append([]*workload.Request(nil), reqs...)
+	workload.SortByArrival(sorted)
+	e := NewEngine(s, opts)
+	for _, r := range sorted {
+		if err := e.Inject(r, r.Arrival); err != nil {
+			return Result{}, err
 		}
 	}
-	for name, m := range avg.PerModel {
-		if m.Requests > 0 {
-			m.ANTT /= float64(m.Requests)
-			m.ViolationRate /= float64(m.Requests)
+	for !e.Drained() {
+		if _, err := e.Step(); err != nil {
+			return Result{}, err
 		}
-		avg.PerModel[name] = m
 	}
-	n := float64(len(rs))
-	avg.ANTT /= n
-	avg.ViolationRate /= n
-	avg.Throughput /= n
-	avg.Preemptions = int(float64(avg.Preemptions) / n)
-	avg.Requests = int(float64(avg.Requests) / n)
-	avg.MeanLatency = time.Duration(meanLat / n)
-	avg.P99Latency = time.Duration(p99Lat / n)
-	avg.Makespan = time.Duration(makespan / n)
-	return avg
+	return e.Finish(), nil
 }
 
-// SeedSpread summarizes per-seed variability of the two headline metrics:
-// the population standard deviation of ANTT and violation rate across
-// runs. Reported alongside five-seed averages to show result stability.
-func SeedSpread(rs []Result) (anttSD, violSD float64) {
-	if len(rs) < 2 {
-		return 0, 0
+// pendingEntry is one injected-but-undelivered request: the task plus its
+// visibility time and injection sequence number.
+type pendingEntry struct {
+	t   *Task
+	eff time.Duration
+	seq int
+}
+
+// pendingQueue is a min-heap of injected requests ordered by (visibility
+// time, injection order), so delivery reproduces the stable
+// sorted-by-arrival order Run has always used, while still accepting
+// out-of-order injection from an external dispatcher.
+type pendingQueue struct {
+	entries []pendingEntry
+	seq     int
+}
+
+func (q *pendingQueue) len() int { return len(q.entries) }
+
+// minTime returns the earliest visibility time, or false when empty.
+func (q *pendingQueue) minTime() (time.Duration, bool) {
+	if len(q.entries) == 0 {
+		return 0, false
 	}
-	antts := make([]float64, len(rs))
-	viols := make([]float64, len(rs))
-	for i, r := range rs {
-		antts[i] = r.ANTT
-		viols[i] = r.ViolationRate
+	return q.entries[0].eff, true
+}
+
+func (q *pendingQueue) push(t *Task, eff time.Duration) {
+	q.entries = append(q.entries, pendingEntry{t: t, eff: eff, seq: q.seq})
+	q.seq++
+	i := len(q.entries) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.entries[i], q.entries[parent] = q.entries[parent], q.entries[i]
+		i = parent
 	}
-	return stats.StdDev(antts), stats.StdDev(viols)
+}
+
+// popAtOrBefore removes and returns the earliest entry whose visibility
+// time is at or before now, or false when none is due.
+func (q *pendingQueue) popAtOrBefore(now time.Duration) (*Task, bool) {
+	if len(q.entries) == 0 || q.entries[0].eff > now {
+		return nil, false
+	}
+	t := q.entries[0].t
+	last := len(q.entries) - 1
+	q.entries[0] = q.entries[last]
+	q.entries[last] = pendingEntry{}
+	q.entries = q.entries[:last]
+	// Sift down.
+	i := 0
+	for {
+		child := 2*i + 1
+		if child >= last {
+			break
+		}
+		if r := child + 1; r < last && q.less(r, child) {
+			child = r
+		}
+		if !q.less(child, i) {
+			break
+		}
+		q.entries[i], q.entries[child] = q.entries[child], q.entries[i]
+		i = child
+	}
+	return t, true
+}
+
+// less orders entries by visibility time, then injection order.
+func (q *pendingQueue) less(i, j int) bool {
+	a, b := q.entries[i], q.entries[j]
+	return a.eff < b.eff || (a.eff == b.eff && a.seq < b.seq)
 }

@@ -1,0 +1,144 @@
+package sched
+
+import (
+	"math"
+	"time"
+
+	"sparsedysta/internal/stats"
+)
+
+// Result aggregates one simulation run's metrics (paper §6.1).
+type Result struct {
+	Scheduler string
+	// ANTT is the average normalized turnaround time:
+	// mean(T_multi / T_isol) over requests.
+	ANTT float64
+	// ViolationRate is the fraction of requests finishing past
+	// Arrival + SLO.
+	ViolationRate float64
+	// Throughput is completed requests per second of makespan (the
+	// paper's STP, inf/s).
+	Throughput float64
+	// MeanLatency and P99Latency summarize multi-tenant turnaround.
+	MeanLatency time.Duration
+	P99Latency  time.Duration
+	// Preemptions counts scheduling decisions that switched tasks while
+	// the previous choice still had layers left.
+	Preemptions int
+	// Requests is the number of simulated requests.
+	Requests int
+	// Dropped counts requests injected but not completed when the engine
+	// was finalized. Zero for every drained run (Run and cluster.Run
+	// always drain); nonzero flags an orchestrator that called
+	// Engine.Finish early, whose metrics cover only the completed subset
+	// — typically biased optimistic, since the unfinished stragglers are
+	// the slow, violating ones.
+	Dropped int
+	// Makespan is the time from first arrival to last completion.
+	Makespan time.Duration
+	// PerModel breaks ANTT and violation rate down by model name; short
+	// and long tenants often fare very differently under the same
+	// scheduler.
+	PerModel map[string]ModelMetrics
+	// Timeline is the execution schedule (only with
+	// Options.RecordTimeline).
+	Timeline *Timeline
+	// Tasks holds per-request outcomes (only with Options.RecordTasks).
+	Tasks []TaskOutcome
+}
+
+// ModelMetrics aggregates one model's requests within a run.
+type ModelMetrics struct {
+	Requests      int
+	ANTT          float64
+	ViolationRate float64
+}
+
+// TaskOutcome is one request's final accounting.
+type TaskOutcome struct {
+	ID         int
+	Model      string
+	Arrival    time.Duration
+	Completion time.Duration
+	Isolated   time.Duration
+	// NTT is the normalized turnaround (T_multi / T_isol).
+	NTT float64
+	// Violated reports a missed deadline.
+	Violated bool
+}
+
+// AverageResults averages the metric fields of per-seed results of the
+// same scheduler, the paper's five-seed reporting protocol (§6.1).
+// Scheduler is taken from the first result carrying a name. The integer
+// counters (Preemptions, Requests) are rounded to the nearest integer,
+// not truncated. Per-model means are weighted by their per-seed request
+// counts; PerModel stays nil when no input has a per-model breakdown.
+// Timeline and Tasks are intentionally dropped: per-seed schedules have
+// no meaningful average, so callers wanting them must read the individual
+// per-seed Results.
+func AverageResults(rs []Result) Result {
+	if len(rs) == 0 {
+		return Result{}
+	}
+	avg := Result{}
+	var meanLat, p99Lat, makespan float64
+	for _, r := range rs {
+		if avg.Scheduler == "" {
+			avg.Scheduler = r.Scheduler
+		}
+		avg.ANTT += r.ANTT
+		avg.ViolationRate += r.ViolationRate
+		avg.Throughput += r.Throughput
+		avg.Preemptions += r.Preemptions
+		avg.Requests += r.Requests
+		avg.Dropped += r.Dropped
+		meanLat += float64(r.MeanLatency)
+		p99Lat += float64(r.P99Latency)
+		makespan += float64(r.Makespan)
+		for name, m := range r.PerModel {
+			if avg.PerModel == nil {
+				avg.PerModel = map[string]ModelMetrics{}
+			}
+			agg := avg.PerModel[name]
+			agg.Requests += m.Requests
+			// Weight per-seed means by their request counts.
+			agg.ANTT += m.ANTT * float64(m.Requests)
+			agg.ViolationRate += m.ViolationRate * float64(m.Requests)
+			avg.PerModel[name] = agg
+		}
+	}
+	for name, m := range avg.PerModel {
+		if m.Requests > 0 {
+			m.ANTT /= float64(m.Requests)
+			m.ViolationRate /= float64(m.Requests)
+		}
+		avg.PerModel[name] = m
+	}
+	n := float64(len(rs))
+	avg.ANTT /= n
+	avg.ViolationRate /= n
+	avg.Throughput /= n
+	avg.Preemptions = int(math.Round(float64(avg.Preemptions) / n))
+	avg.Requests = int(math.Round(float64(avg.Requests) / n))
+	avg.Dropped = int(math.Round(float64(avg.Dropped) / n))
+	avg.MeanLatency = time.Duration(meanLat / n)
+	avg.P99Latency = time.Duration(p99Lat / n)
+	avg.Makespan = time.Duration(makespan / n)
+	return avg
+}
+
+// SeedSpread summarizes per-seed variability of the two headline metrics:
+// the population standard deviation of ANTT and violation rate across
+// runs. Reported alongside five-seed averages to show result stability.
+func SeedSpread(rs []Result) (anttSD, violSD float64) {
+	if len(rs) < 2 {
+		return 0, 0
+	}
+	antts := make([]float64, len(rs))
+	viols := make([]float64, len(rs))
+	for i, r := range rs {
+		antts[i] = r.ANTT
+		viols[i] = r.ViolationRate
+	}
+	return stats.StdDev(antts), stats.StdDev(viols)
+}

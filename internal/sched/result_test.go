@@ -1,0 +1,126 @@
+package sched
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestAverageResultsPerModelWeighted pins the request-weighted per-model
+// math: a seed with three times the requests of another must pull the
+// averaged per-model ANTT and violation rate three times as hard.
+func TestAverageResultsPerModelWeighted(t *testing.T) {
+	rs := []Result{
+		{Scheduler: "x", PerModel: map[string]ModelMetrics{
+			"bert": {Requests: 30, ANTT: 2.0, ViolationRate: 0.1},
+			"gpt2": {Requests: 10, ANTT: 4.0, ViolationRate: 0.5},
+		}},
+		{Scheduler: "x", PerModel: map[string]ModelMetrics{
+			"bert": {Requests: 10, ANTT: 6.0, ViolationRate: 0.5},
+			// gpt2 absent this seed: its average must use only the
+			// first seed's weight.
+		}},
+	}
+	avg := AverageResults(rs)
+	bert := avg.PerModel["bert"]
+	if bert.Requests != 40 {
+		t.Errorf("bert requests = %d, want 40", bert.Requests)
+	}
+	// (30*2 + 10*6) / 40 = 3.0; (30*0.1 + 10*0.5) / 40 = 0.2.
+	if math.Abs(bert.ANTT-3.0) > 1e-12 {
+		t.Errorf("bert ANTT = %v, want 3.0", bert.ANTT)
+	}
+	if math.Abs(bert.ViolationRate-0.2) > 1e-12 {
+		t.Errorf("bert violation rate = %v, want 0.2", bert.ViolationRate)
+	}
+	gpt := avg.PerModel["gpt2"]
+	if gpt.Requests != 10 || gpt.ANTT != 4.0 || gpt.ViolationRate != 0.5 {
+		t.Errorf("gpt2 metrics changed by absent seed: %+v", gpt)
+	}
+}
+
+// TestAverageResultsRounding: the integer counters round to nearest
+// instead of truncating.
+func TestAverageResultsRounding(t *testing.T) {
+	rs := []Result{
+		{Scheduler: "x", Preemptions: 10, Requests: 100},
+		{Scheduler: "x", Preemptions: 11, Requests: 101},
+	}
+	avg := AverageResults(rs)
+	if avg.Preemptions != 11 { // 10.5 rounds up, not down to 10
+		t.Errorf("Preemptions = %d, want 11", avg.Preemptions)
+	}
+	if avg.Requests != 101 { // 100.5 rounds up
+		t.Errorf("Requests = %d, want 101", avg.Requests)
+	}
+}
+
+// TestAverageResultsEmptyPerModel: without per-model data the average
+// keeps PerModel nil and still propagates the scheduler name (from the
+// first result that has one).
+func TestAverageResultsEmptyPerModel(t *testing.T) {
+	rs := []Result{
+		{ANTT: 1},
+		{Scheduler: "late-name", ANTT: 3},
+	}
+	avg := AverageResults(rs)
+	if avg.PerModel != nil {
+		t.Errorf("PerModel allocated with no per-model inputs: %+v", avg.PerModel)
+	}
+	if avg.Scheduler != "late-name" {
+		t.Errorf("Scheduler = %q", avg.Scheduler)
+	}
+	if avg.ANTT != 2 {
+		t.Errorf("ANTT = %v", avg.ANTT)
+	}
+}
+
+// TestAverageResultsDropsScheduleRecords: Timeline and Tasks are
+// documented as intentionally dropped — per-seed schedules have no
+// meaningful average.
+func TestAverageResultsDropsScheduleRecords(t *testing.T) {
+	rs := []Result{
+		{Scheduler: "x", Timeline: &Timeline{}, Tasks: []TaskOutcome{{ID: 1}}},
+		{Scheduler: "x", Timeline: &Timeline{}, Tasks: []TaskOutcome{{ID: 2}}},
+	}
+	avg := AverageResults(rs)
+	if avg.Timeline != nil || avg.Tasks != nil {
+		t.Error("averaging retained Timeline or Tasks")
+	}
+}
+
+// TestSeedSpreadAcrossSeeds checks the population standard deviation over
+// more than two seeds and the degenerate cases.
+func TestSeedSpreadAcrossSeeds(t *testing.T) {
+	rs := []Result{
+		{ANTT: 2, ViolationRate: 0.1},
+		{ANTT: 4, ViolationRate: 0.2},
+		{ANTT: 6, ViolationRate: 0.3},
+	}
+	anttSD, violSD := SeedSpread(rs)
+	want := math.Sqrt(8.0 / 3.0) // population SD of {2,4,6}
+	if math.Abs(anttSD-want) > 1e-12 {
+		t.Errorf("ANTT SD = %v, want %v", anttSD, want)
+	}
+	// Population SD of {0.1, 0.2, 0.3} is sqrt(0.02/3).
+	if math.Abs(violSD-math.Sqrt(0.02/3.0)) > 1e-12 {
+		t.Errorf("violation SD = %v", violSD)
+	}
+	if a, v := SeedSpread(nil); a != 0 || v != 0 {
+		t.Error("nil spread not zero")
+	}
+	if a, v := SeedSpread(rs[:1]); a != 0 || v != 0 {
+		t.Error("single-seed spread not zero")
+	}
+	// Identical seeds spread zero.
+	same := []Result{{ANTT: 5, ViolationRate: 0.4}, {ANTT: 5, ViolationRate: 0.4}}
+	if a, v := SeedSpread(same); a != 0 || v != 0 {
+		t.Errorf("identical seeds spread %v, %v", a, v)
+	}
+	// MeanLatency-style fields do not enter the spread; only the two
+	// headline metrics do.
+	rs[0].MeanLatency = time.Hour
+	if a, _ := SeedSpread(rs); math.Abs(a-want) > 1e-12 {
+		t.Error("unrelated fields leaked into the spread")
+	}
+}

@@ -7,6 +7,7 @@ package workload
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"sparsedysta/internal/accel"
@@ -203,31 +204,64 @@ func sampleEntry(r *rng.Source, entries []Entry, total float64) Entry {
 // profiling store (for scheduler LUTs) and a disjoint evaluation store
 // (replayed by the engine). Separate seeds keep the profiled inputs
 // distinct from the evaluated ones, as offline profiling would be.
+//
+// Entries build concurrently, one goroutine per model-pattern pair: every
+// pair's RNG seed derives from its entry index alone (seed + 2i for
+// profiling, seed + 2i + 1 for evaluation), and the per-pair trace slices
+// are committed to the stores in entry order after all workers finish, so
+// the result is byte-identical to a sequential build (the equivalence
+// test in workload_test.go enforces this).
 func BuildStores(sc Scenario, profileSamples, evalSamples int, seed uint64) (prof, eval *trace.Store, err error) {
+	type built struct {
+		prof, eval []trace.SampleTrace
+		err        error
+	}
+	results := make([]built, len(sc.Entries))
+	var wg sync.WaitGroup
+	for i := range sc.Entries {
+		wg.Add(1)
+		go func(i int, e Entry) {
+			defer wg.Done()
+			// Describe the entry without Entry.Key: trace.Build's
+			// validation (nil model among it) must surface as an error,
+			// and Key derefs the model.
+			desc := "<nil>"
+			if e.Model != nil {
+				desc = e.Key().String()
+			}
+			base := trace.BuildConfig{
+				Model:      e.Model,
+				Pattern:    e.Pattern,
+				WeightRate: e.WeightRate,
+			}
+			pcfg := base
+			pcfg.Samples = profileSamples
+			pcfg.Seed = seed + uint64(i)*2
+			ptr, err := trace.Build(sc.Accel, pcfg)
+			if err != nil {
+				results[i].err = fmt.Errorf("workload: profiling %s: %w", desc, err)
+				return
+			}
+			ecfg := base
+			ecfg.Samples = evalSamples
+			ecfg.Seed = seed + uint64(i)*2 + 1
+			etr, err := trace.Build(sc.Accel, ecfg)
+			if err != nil {
+				results[i].err = fmt.Errorf("workload: evaluating %s: %w", desc, err)
+				return
+			}
+			results[i] = built{prof: ptr, eval: etr}
+		}(i, sc.Entries[i])
+	}
+	wg.Wait()
+
 	prof, eval = trace.NewStore(), trace.NewStore()
 	for i, e := range sc.Entries {
-		base := trace.BuildConfig{
-			Model:      e.Model,
-			Pattern:    e.Pattern,
-			WeightRate: e.WeightRate,
+		if results[i].err != nil {
+			return nil, nil, results[i].err
 		}
-		pcfg := base
-		pcfg.Samples = profileSamples
-		pcfg.Seed = seed + uint64(i)*2
-		ptr, err := trace.Build(sc.Accel, pcfg)
-		if err != nil {
-			return nil, nil, fmt.Errorf("workload: profiling %v: %w", e.Key(), err)
-		}
-		prof.Add(e.Key(), ptr)
-
-		ecfg := base
-		ecfg.Samples = evalSamples
-		ecfg.Seed = seed + uint64(i)*2 + 1
-		etr, err := trace.Build(sc.Accel, ecfg)
-		if err != nil {
-			return nil, nil, fmt.Errorf("workload: evaluating %v: %w", e.Key(), err)
-		}
-		eval.Add(e.Key(), etr)
+		prof.Add(e.Key(), results[i].prof)
+		eval.Add(e.Key(), results[i].eval)
 	}
 	return prof, eval, nil
 }

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"math"
+	"reflect"
 	"testing"
 	"time"
 
@@ -181,5 +182,73 @@ func TestSortByArrival(t *testing.T) {
 	SortByArrival(reqs)
 	if reqs[0].ID != 1 || reqs[1].ID != 2 || reqs[2].ID != 0 {
 		t.Errorf("sort order wrong: %v %v %v", reqs[0].ID, reqs[1].ID, reqs[2].ID)
+	}
+}
+
+// buildStoresSequential is the pre-parallelization reference: one entry
+// after another, same per-entry seed derivation as BuildStores.
+func buildStoresSequential(sc Scenario, profileSamples, evalSamples int, seed uint64) (*trace.Store, *trace.Store, error) {
+	prof, eval := trace.NewStore(), trace.NewStore()
+	for i, e := range sc.Entries {
+		base := trace.BuildConfig{
+			Model:      e.Model,
+			Pattern:    e.Pattern,
+			WeightRate: e.WeightRate,
+		}
+		pcfg := base
+		pcfg.Samples = profileSamples
+		pcfg.Seed = seed + uint64(i)*2
+		ptr, err := trace.Build(sc.Accel, pcfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		prof.Add(e.Key(), ptr)
+		ecfg := base
+		ecfg.Samples = evalSamples
+		ecfg.Seed = seed + uint64(i)*2 + 1
+		etr, err := trace.Build(sc.Accel, ecfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		eval.Add(e.Key(), etr)
+	}
+	return prof, eval, nil
+}
+
+// TestBuildStoresMatchesSequential: the concurrent per-pair build must
+// produce stores byte-identical to the sequential reference — same keys,
+// same traces, same order — for both benchmark scenarios.
+func TestBuildStoresMatchesSequential(t *testing.T) {
+	for _, sc := range []Scenario{MultiAttNN(), MultiCNN()} {
+		gotProf, gotEval, err := BuildStores(sc, 6, 10, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantProf, wantEval, err := buildStoresSequential(sc, 6, 10, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range sc.Entries {
+			k := e.Key()
+			if !reflect.DeepEqual(gotProf.Get(k), wantProf.Get(k)) {
+				t.Errorf("%s: profiling traces for %v diverge from sequential build", sc.Name, k)
+			}
+			if !reflect.DeepEqual(gotEval.Get(k), wantEval.Get(k)) {
+				t.Errorf("%s: evaluation traces for %v diverge from sequential build", sc.Name, k)
+			}
+		}
+		if gotProf.Len() != wantProf.Len() || gotEval.Len() != wantEval.Len() {
+			t.Errorf("%s: store key counts diverge", sc.Name)
+		}
+	}
+}
+
+// TestBuildStoresPropagatesError: a broken entry surfaces the first
+// failing entry's error.
+func TestBuildStoresPropagatesError(t *testing.T) {
+	sc := MultiAttNN()
+	sc.Entries[1].Model = nil
+	if _, _, err := BuildStores(sc, 4, 4, 1); err == nil {
+		t.Fatal("nil model accepted")
 	}
 }
