@@ -117,10 +117,11 @@ func BenchmarkEngineDysta(b *testing.B) {
 // sparsity-aware least-predicted-load policy.
 func BenchmarkClusterDysta(b *testing.B) {
 	lut, reqs := benchWorkload(b)
+	est := sched.NewEstimator(lut)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		d := cluster.NewLeastLoad("load", cluster.SparsityAwareLoad(lut))
+		d := cluster.NewLeastLoad("load", cluster.SparsityAwareLoad(lut, est))
 		if _, err := cluster.Run(func(int) sched.Scheduler { return core.NewDefault(lut) }, reqs,
 			cluster.Config{Engines: 4, Dispatch: d}); err != nil {
 			b.Fatal(err)

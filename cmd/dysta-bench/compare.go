@@ -1,0 +1,103 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// This file is the bench-regression gate behind -bench-compare: it diffs
+// a fresh BENCH_<date>.json against the committed baseline and fails on a
+// large ns/op slowdown in the gated entries, so a PR cannot silently
+// regress the hot paths the perf trajectory tracks.
+
+// regressionThreshold is the tolerated ns/op growth before the gate
+// fails: CI runners are noisy, so the gate only catches order-of-change
+// regressions, not percent-level drift.
+const regressionThreshold = 0.30
+
+// gatedBenchmark reports whether a bench entry is held to the regression
+// threshold: the engine and cluster suites (the BenchmarkEngine* and
+// BenchmarkCluster* hot paths). The remaining entries (predictor step,
+// parallel grid) are informational — too short or too machine-dependent
+// to gate on.
+func gatedBenchmark(name string) bool {
+	return strings.HasPrefix(name, "Engine") || strings.HasPrefix(name, "Cluster")
+}
+
+// readBenchReport loads one BENCH_*.json.
+func readBenchReport(path string) (*BenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r BenchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// compareBenchJSON diffs fresh against base and returns an error when any
+// gated benchmark present in both slowed down by more than the threshold.
+// Entries only present on one side are reported but never fail the gate
+// (benchmarks are added and retired across PRs); an empty gated
+// intersection is an error, since it means the gate checked nothing.
+func compareBenchJSON(basePath, freshPath string, w io.Writer) error {
+	base, err := readBenchReport(basePath)
+	if err != nil {
+		return err
+	}
+	fresh, err := readBenchReport(freshPath)
+	if err != nil {
+		return err
+	}
+	baseline := make(map[string]BenchRecord, len(base.Results))
+	for _, r := range base.Results {
+		baseline[r.Name] = r
+	}
+
+	var regressions []string
+	gated := 0
+	for _, f := range fresh.Results {
+		b, ok := baseline[f.Name]
+		if !ok {
+			fmt.Fprintf(w, "%-22s new entry (%.0f ns/op), not gated\n", f.Name, f.NsPerOp)
+			continue
+		}
+		delete(baseline, f.Name)
+		if b.NsPerOp <= 0 {
+			continue
+		}
+		change := f.NsPerOp/b.NsPerOp - 1
+		status := "ok"
+		if gatedBenchmark(f.Name) {
+			gated++
+			if change > regressionThreshold {
+				status = "REGRESSION"
+				regressions = append(regressions, fmt.Sprintf(
+					"%s: %.0f -> %.0f ns/op (%+.0f%%)", f.Name, b.NsPerOp, f.NsPerOp, 100*change))
+			}
+		} else {
+			status = "not gated"
+		}
+		fmt.Fprintf(w, "%-22s %12.0f -> %12.0f ns/op  %+6.1f%%  %s\n",
+			f.Name, b.NsPerOp, f.NsPerOp, 100*change, status)
+	}
+	for name := range baseline {
+		fmt.Fprintf(w, "%-22s retired (in baseline only)\n", name)
+	}
+	if gated == 0 {
+		return fmt.Errorf("bench-compare: no gated Engine*/Cluster* benchmark present in both %s and %s",
+			basePath, freshPath)
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("bench-compare: %d benchmark(s) regressed >%.0f%%:\n  %s",
+			len(regressions), 100*regressionThreshold, strings.Join(regressions, "\n  "))
+	}
+	fmt.Fprintf(w, "bench-compare: %d gated benchmarks within %.0f%% of %s\n",
+		gated, 100*regressionThreshold, basePath)
+	return nil
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeReport(t *testing.T, dir, name string, records []BenchRecord) string {
+	t.Helper()
+	data, err := json.Marshal(BenchReport{Date: "2026-01-01", Results: records})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCompareBenchJSON covers the regression gate: within-threshold and
+// faster entries pass, a >30% slowdown in a gated Engine*/Cluster* entry
+// fails, ungated entries never fail, and added/retired entries are
+// tolerated.
+func TestCompareBenchJSON(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", []BenchRecord{
+		{Name: "EngineDysta", NsPerOp: 1000},
+		{Name: "ClusterDysta", NsPerOp: 2000},
+		{Name: "PredictorStep", NsPerOp: 10},
+		{Name: "RetiredBench", NsPerOp: 5},
+	})
+
+	ok := writeReport(t, dir, "ok.json", []BenchRecord{
+		{Name: "EngineDysta", NsPerOp: 1250},  // +25%: inside threshold
+		{Name: "ClusterDysta", NsPerOp: 1500}, // faster
+		{Name: "PredictorStep", NsPerOp: 100}, // 10x slower but not gated
+		{Name: "BrandNewBench", NsPerOp: 1},   // new entry, not gated
+	})
+	var out strings.Builder
+	if err := compareBenchJSON(base, ok, &out); err != nil {
+		t.Fatalf("within-threshold comparison failed: %v\n%s", err, out.String())
+	}
+
+	bad := writeReport(t, dir, "bad.json", []BenchRecord{
+		{Name: "EngineDysta", NsPerOp: 1400}, // +40%: regression
+		{Name: "ClusterDysta", NsPerOp: 2000},
+	})
+	err := compareBenchJSON(base, bad, &strings.Builder{})
+	if err == nil {
+		t.Fatal("40% slowdown passed the gate")
+	}
+	if !strings.Contains(err.Error(), "EngineDysta") {
+		t.Errorf("regression error does not name the benchmark: %v", err)
+	}
+
+	// A comparison whose gated intersection is empty gates nothing and
+	// must fail loudly rather than green-light the PR.
+	empty := writeReport(t, dir, "empty.json", []BenchRecord{
+		{Name: "PredictorStep", NsPerOp: 10},
+	})
+	if err := compareBenchJSON(base, empty, &strings.Builder{}); err == nil {
+		t.Fatal("empty gated intersection passed")
+	}
+}
+
+// TestCompareBenchJSONBadInputs: unreadable or malformed files error.
+func TestCompareBenchJSONBadInputs(t *testing.T) {
+	dir := t.TempDir()
+	good := writeReport(t, dir, "good.json", []BenchRecord{{Name: "EngineDysta", NsPerOp: 1}})
+	if err := compareBenchJSON(filepath.Join(dir, "missing.json"), good, &strings.Builder{}); err == nil {
+		t.Error("missing baseline accepted")
+	}
+	mangled := filepath.Join(dir, "mangled.json")
+	if err := os.WriteFile(mangled, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := compareBenchJSON(good, mangled, &strings.Builder{}); err == nil {
+		t.Error("malformed fresh file accepted")
+	}
+}

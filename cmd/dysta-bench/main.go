@@ -31,11 +31,15 @@ func main() {
 		seeds     = flag.Int("seeds", 0, "override seed count (0 = protocol default)")
 		requests  = flag.Int("requests", 0, "override request count (0 = protocol default)")
 		workers   = flag.Int("workers", 0, "parallel simulation workers (0 = all cores, 1 = sequential)")
-		engines   = flag.Int("engines", 0, "override the simulated accelerator count (0 = per-experiment default; >1 routes runs through the cluster simulation)")
+		engines   = flag.String("engines", "", "override the simulated accelerators: a count (\"4\") or a heterogeneous mix (\"2x1,2x2\"); empty = per-experiment default")
 		dispatch  = flag.String("dispatch", "", "override the cluster dispatch policy: rr, jsq, load, blind-load")
+		signalIv  = flag.Duration("signal-interval", 0, "staleness bound of the dispatcher's engine-state snapshots (0 = exact state)")
+		admit     = flag.String("admission", "", "override the cluster admission policy: none, queue-cap[:N], slo")
 		outDir    = flag.String("out", "", "also write each experiment's output to <dir>/<id>.txt")
 		benchJSON = flag.Bool("json", false,
 			"run the hot-path micro-benchmarks and write BENCH_<date>.json (to -out dir, or cwd)")
+		benchCompare = flag.String("bench-compare", "",
+			"compare two BENCH_*.json files, \"baseline.json,fresh.json\": exit nonzero on a >30% ns/op slowdown in any Engine*/Cluster* entry (the CI regression gate)")
 	)
 	flag.Parse()
 
@@ -49,6 +53,19 @@ func main() {
 	if *list {
 		for _, id := range exp.AllIDs() {
 			fmt.Println(id)
+		}
+		return
+	}
+
+	if *benchCompare != "" {
+		base, fresh, ok := strings.Cut(*benchCompare, ",")
+		if !ok {
+			fmt.Fprintln(os.Stderr, "-bench-compare wants \"baseline.json,fresh.json\"")
+			os.Exit(2)
+		}
+		if err := compareBenchJSON(base, fresh, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
 		return
 	}
@@ -76,11 +93,21 @@ func main() {
 		opts.Requests = *requests
 	}
 	opts.Workers = *workers
-	if *engines > 0 {
-		opts.Engines = *engines
+	if *engines != "" {
+		n, specs, err := exp.ParseEngines(*engines)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		opts.Engines = n
+		opts.EngineSpecs = specs
 	}
 	if *dispatch != "" {
 		opts.Dispatch = *dispatch
+	}
+	opts.SignalInterval = *signalIv
+	if *admit != "" {
+		opts.Admission = *admit
 	}
 
 	ids := []string{*expID}

@@ -105,7 +105,7 @@ func runMicroBenchmarks() ([]BenchRecord, error) {
 			// dispatch: the new-subsystem entry of the perf trajectory.
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				d := cluster.NewLeastLoad("load", cluster.SparsityAwareLoad(lut))
+				d := cluster.NewLeastLoad("load", cluster.SparsityAwareLoad(lut, est))
 				if _, err := cluster.Run(func(int) sched.Scheduler { return core.NewDefault(lut) },
 					reqs, cluster.Config{Engines: 4, Dispatch: d}); err != nil {
 					b.Fatal(err)

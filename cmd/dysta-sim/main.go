@@ -33,8 +33,10 @@ func main() {
 		profileN = flag.Int("profile-samples", 100, "offline profiling samples per model-pattern pair")
 		evalN    = flag.Int("eval-samples", 400, "evaluation trace pool per model-pattern pair")
 		workers  = flag.Int("workers", 0, "parallel simulation workers (0 = all cores, 1 = sequential)")
-		engines  = flag.Int("engines", 1, "simulated accelerators; >1 runs the multi-engine cluster simulation")
+		engines  = flag.String("engines", "1", "simulated accelerators: a count (\"4\") or a heterogeneous mix (\"2x1,2x2\" = 2 reference-speed + 2 half-speed); anything beyond one reference engine runs the cluster simulation")
 		dispatch = flag.String("dispatch", "rr", "cluster dispatch policy: rr, jsq, load, blind-load")
+		signalIv = flag.Duration("signal-interval", 0, "staleness bound of the dispatcher's engine-state snapshots (0 = exact state)")
+		admit    = flag.String("admission", "none", "cluster admission policy: none, queue-cap[:N], slo")
 		eta      = flag.Float64("eta", core.DefaultConfig().Eta, "Dysta eta (dynamic slack weight)")
 		beta     = flag.Float64("beta", core.DefaultConfig().Beta, "Dysta beta (static slack weight)")
 		dumpSpec = flag.Bool("dump-spec", false, "print the selected scenario as a JSON spec and exit")
@@ -78,14 +80,22 @@ func main() {
 		return
 	}
 
+	nEngines, engineSpecs, err := exp.ParseEngines(*engines)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	opts := exp.Options{
 		Seeds:          *seeds,
 		Requests:       *requests,
 		ProfileSamples: *profileN,
 		EvalSamples:    *evalN,
 		Workers:        *workers,
-		Engines:        *engines,
+		Engines:        nEngines,
+		EngineSpecs:    engineSpecs,
 		Dispatch:       *dispatch,
+		SignalInterval: *signalIv,
+		Admission:      *admit,
 	}
 	p, err := exp.NewPipeline(sc, opts, 7)
 	if err != nil {
@@ -125,18 +135,20 @@ func main() {
 		os.Exit(1)
 	}
 
+	clustered := nEngines > 1 || len(engineSpecs) > 0
 	fmt.Printf("workload %s  rate %.1f req/s  M_slo %.0fx  %d requests x %d seeds",
 		sc.Name, *rate, *mslo, *requests, *seeds)
-	if *engines > 1 {
-		fmt.Printf("  %d engines (%s dispatch)", *engines, *dispatch)
+	if clustered {
+		fmt.Printf("  engines %s (%s dispatch, %v signal interval, %s admission)",
+			*engines, *dispatch, *signalIv, *admit)
 	}
 	fmt.Print("\n\n")
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "scheduler\tANTT\tviol%\tthroughput\tmean lat\tp99 lat\tpreemptions")
+	fmt.Fprintln(tw, "scheduler\tANTT\tviol%\tthroughput\tgoodput\trejected\tmean lat\tp99 lat\tpreemptions")
 	for _, s := range specs {
 		r := results[s.Name]
-		fmt.Fprintf(tw, "%s\t%.2f\t%.1f\t%.2f\t%v\t%v\t%d\n",
-			r.Scheduler, r.ANTT, 100*r.ViolationRate, r.Throughput,
+		fmt.Fprintf(tw, "%s\t%.2f\t%.1f\t%.2f\t%.2f\t%d\t%v\t%v\t%d\n",
+			r.Scheduler, r.ANTT, 100*r.ViolationRate, r.Throughput, r.Goodput, r.Rejected,
 			r.MeanLatency.Round(time.Microsecond), r.P99Latency.Round(time.Microsecond),
 			r.Preemptions)
 	}

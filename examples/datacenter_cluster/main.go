@@ -85,7 +85,9 @@ func main() {
 		func() cluster.Dispatcher { return cluster.NewRoundRobin() },
 		func() cluster.Dispatcher { return cluster.NewJSQ() },
 		func() cluster.Dispatcher { return cluster.NewLeastLoad("blind-load", cluster.BlindLoad(est)) },
-		func() cluster.Dispatcher { return cluster.NewLeastLoad("sparse-load", cluster.SparsityAwareLoad(lut)) },
+		func() cluster.Dispatcher {
+			return cluster.NewLeastLoad("sparse-load", cluster.SparsityAwareLoad(lut, est))
+		},
 	}
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)

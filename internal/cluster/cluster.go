@@ -6,17 +6,26 @@
 // gets a request, informed by sparsity-aware load estimates, before the
 // per-device scheduler ever sees it.
 //
+// The dispatch layer models three realities of a production router that
+// the idealized fan-out ignored: engines can be heterogeneous (per-engine
+// EngineSpec with a latency scale), the router's view of engine state can
+// be stale (SignalBoard snapshots refreshed every SignalInterval), and
+// the router can refuse work (Admission policies shed requests before
+// injection, counted in Result.Rejected).
+//
 // Determinism contract: engines' events interleave on one virtual clock in
 // (event time, engine index) order, every stochastic input derives from
-// the request stream, and dispatchers are deterministic — so a cluster run
-// is a pure function of (schedulers, stream, config). A 1-engine cluster
-// reproduces sched.Run bit-identically under every dispatcher, which the
-// equivalence tests enforce.
+// the request stream, dispatchers and admission policies are deterministic
+// functions of the signals, and signal refreshes are tied to arrival
+// instants — so a cluster run is a pure function of (schedulers, stream,
+// config). A 1-engine cluster reproduces sched.Run bit-identically under
+// every dispatcher, and SignalInterval 0 + homogeneous specs + no
+// admission reproduce the idealized exact-state router bit-identically;
+// the equivalence tests enforce both.
 package cluster
 
 import (
 	"fmt"
-	"math"
 	"sort"
 	"time"
 
@@ -25,25 +34,84 @@ import (
 	"sparsedysta/internal/workload"
 )
 
+// EngineSpec configures one engine of a heterogeneous cluster.
+type EngineSpec struct {
+	// Sched tunes the engine (preemption overhead, recording).
+	Sched sched.Options
+	// LatencyScale is the engine's speed relative to the reference
+	// hardware: every executed layer latency is multiplied by it. 0 and
+	// 1 mean reference speed, 2 a half-speed device, 0.5 a double-speed
+	// one. It overrides Sched.LatencyScale when nonzero.
+	LatencyScale float64
+}
+
 // Config sizes a cluster run.
 type Config struct {
-	// Engines is the number of simulated accelerators (>= 1).
+	// Engines is the number of simulated accelerators (>= 1) when Specs
+	// is empty: a homogeneous cluster of identical engines under Sched.
 	Engines int
+	// Specs configures a heterogeneous cluster, one entry per engine.
+	// When non-empty it defines the engine count (Engines must then be 0
+	// or len(Specs)).
+	Specs []EngineSpec
 	// Dispatch routes arrivals to engines. Nil defaults to round-robin.
 	Dispatch Dispatcher
-	// Sched tunes each engine (preemption overhead, recording).
+	// Admission sheds requests before injection. Nil admits everything.
+	Admission Admission
+	// SignalInterval bounds the staleness of the dispatcher-visible
+	// engine signals: the SignalBoard refreshes its snapshots only when
+	// an arrival is at least this much virtual time past the last
+	// refresh. 0 refreshes on every arrival — the idealized exact-state
+	// router, bit-identical to the pre-SignalBoard dispatch layer.
+	SignalInterval time.Duration
+	// Sched tunes each engine of a homogeneous cluster (ignored for
+	// engines covered by Specs).
 	Sched sched.Options
 }
 
+// engineSpecs resolves the per-engine specs: Specs verbatim when given,
+// else Engines copies of the homogeneous Sched options.
+func (cfg Config) engineSpecs() ([]EngineSpec, error) {
+	if len(cfg.Specs) > 0 {
+		if cfg.Engines != 0 && cfg.Engines != len(cfg.Specs) {
+			return nil, fmt.Errorf("cluster: Engines=%d contradicts %d specs",
+				cfg.Engines, len(cfg.Specs))
+		}
+		specs := append([]EngineSpec(nil), cfg.Specs...)
+		for i := range specs {
+			if specs[i].LatencyScale < 0 {
+				return nil, fmt.Errorf("cluster: engine %d latency scale %v < 0",
+					i, specs[i].LatencyScale)
+			}
+			if specs[i].LatencyScale != 0 {
+				specs[i].Sched.LatencyScale = specs[i].LatencyScale
+			}
+		}
+		return specs, nil
+	}
+	if cfg.Engines < 1 {
+		return nil, fmt.Errorf("cluster: %d engines", cfg.Engines)
+	}
+	specs := make([]EngineSpec, cfg.Engines)
+	for i := range specs {
+		specs[i].Sched = cfg.Sched
+	}
+	return specs, nil
+}
+
 // Result aggregates a cluster run: the cluster-wide metrics in the
-// embedded sched.Result (computed over all requests, so ANTT, violation
-// rate and throughput are directly comparable to a single-engine run),
-// plus per-engine breakdowns and the two cluster-health metrics.
+// embedded sched.Result (computed over all admitted requests, so ANTT,
+// violation rate and throughput are directly comparable to a
+// single-engine run), plus per-engine breakdowns and the cluster-health
+// metrics. Result.Rejected counts requests shed by the admission policy;
+// Goodput (SLO-met completions per second) is the metric that makes
+// shedding comparable to serving everyone badly.
 type Result struct {
 	sched.Result
-	// Dispatch and Engines echo the configuration.
-	Dispatch string
-	Engines  int
+	// Dispatch, Admission and Engines echo the configuration.
+	Dispatch  string
+	Admission string
+	Engines   int
 	// PerEngine holds each engine's own Result, in engine order.
 	PerEngine []sched.Result
 	// Utilization is the mean busy fraction across engines over the
@@ -51,17 +119,20 @@ type Result struct {
 	Utilization float64
 	// Imbalance is max(busy_i) / mean(busy_i): 1.0 is a perfectly
 	// balanced cluster, higher means the dispatcher concentrated work.
+	// The degenerate all-idle cluster (total busy time zero) reports
+	// 1.0 — no work was concentrated anywhere.
 	Imbalance float64
 }
 
-// Run simulates the request stream over cfg.Engines engines, one fresh
+// Run simulates the request stream over the configured engines, one fresh
 // scheduler per engine from newSched, interleaving all engines' events on
 // one virtual clock: before each request is dispatched at its arrival
 // instant, every engine has committed exactly the layers it would have
 // started before that instant.
 func Run(newSched func(engine int) sched.Scheduler, reqs []*workload.Request, cfg Config) (Result, error) {
-	if cfg.Engines < 1 {
-		return Result{}, fmt.Errorf("cluster: %d engines", cfg.Engines)
+	specs, err := cfg.engineSpecs()
+	if err != nil {
+		return Result{}, err
 	}
 	if len(reqs) == 0 {
 		return Result{}, fmt.Errorf("cluster: empty request stream")
@@ -70,33 +141,68 @@ func Run(newSched func(engine int) sched.Scheduler, reqs []*workload.Request, cf
 	if dispatch == nil {
 		dispatch = NewRoundRobin()
 	}
+	if r, ok := dispatch.(resettable); ok {
+		r.Reset()
+	}
+	admission := cfg.Admission
+	if admission == nil {
+		admission = AdmitAll{}
+	}
 
 	// Engines record per-task outcomes regardless of the caller's
 	// options: the cluster-wide latency percentiles need every request's
 	// turnaround, not per-engine summaries. The extra field is stripped
 	// below when the caller didn't ask for it.
-	engOpts := cfg.Sched
-	engOpts.RecordTasks = true
-	engines := make([]*sched.Engine, cfg.Engines)
+	engines := make([]*sched.Engine, len(specs))
 	for i := range engines {
+		engOpts := specs[i].Sched
+		engOpts.RecordTasks = true
 		engines[i] = sched.NewEngine(newSched(i), engOpts)
 	}
 
+	// The board maintains the Backlog signal with the first load
+	// estimate the run's policies provide (dispatcher first: routing and
+	// admission share one metrics pipeline).
+	var load func(*sched.Task) time.Duration
+	for _, p := range []any{dispatch, admission} {
+		if lp, ok := p.(loadProvider); ok && lp.LoadFunc() != nil {
+			load = lp.LoadFunc()
+			break
+		}
+	}
+	board := NewSignalBoard(engines, cfg.SignalInterval, load)
+
 	// advance commits every engine event strictly before `until`, in
-	// (event time, engine index) order.
+	// (event time, engine index) order; drain commits every remaining
+	// event (no sentinel instant that could shadow a real event).
+	next := func(until time.Duration, bounded bool) int {
+		best := -1
+		var bestT time.Duration
+		for i, e := range engines {
+			t, ok := e.NextEvent()
+			if !ok || (bounded && t >= until) {
+				continue
+			}
+			if best < 0 || t < bestT {
+				best, bestT = i, t
+			}
+		}
+		return best
+	}
 	advance := func(until time.Duration) error {
 		for {
-			best := -1
-			var bestT time.Duration
-			for i, e := range engines {
-				t, ok := e.NextEvent()
-				if !ok || t >= until {
-					continue
-				}
-				if best < 0 || t < bestT {
-					best, bestT = i, t
-				}
+			best := next(until, true)
+			if best < 0 {
+				return nil
 			}
+			if _, err := engines[best].Step(); err != nil {
+				return err
+			}
+		}
+	}
+	drain := func() error {
+		for {
+			best := next(0, false)
 			if best < 0 {
 				return nil
 			}
@@ -106,13 +212,19 @@ func Run(newSched func(engine int) sched.Scheduler, reqs []*workload.Request, cf
 		}
 	}
 
+	rejected := 0
 	sorted := append([]*workload.Request(nil), reqs...)
 	workload.SortByArrival(sorted)
 	for _, r := range sorted {
 		if err := advance(r.Arrival); err != nil {
 			return Result{}, err
 		}
-		idx := dispatch.Pick(engines, r, r.Arrival)
+		sig := board.Observe(r.Arrival)
+		if !admission.Admit(sig, r, r.Arrival) {
+			rejected++
+			continue
+		}
+		idx := dispatch.Pick(sig, r, r.Arrival)
 		if idx < 0 || idx >= len(engines) {
 			return Result{}, fmt.Errorf("cluster: dispatcher %s picked engine %d of %d",
 				dispatch.Name(), idx, len(engines))
@@ -121,26 +233,37 @@ func Run(newSched func(engine int) sched.Scheduler, reqs []*workload.Request, cf
 			return Result{}, err
 		}
 	}
-	if err := advance(math.MaxInt64); err != nil {
+	if err := drain(); err != nil {
 		return Result{}, err
 	}
 
 	res := Result{
 		Dispatch:  dispatch.Name(),
-		Engines:   cfg.Engines,
-		PerEngine: make([]sched.Result, cfg.Engines),
+		Admission: admission.Name(),
+		Engines:   len(engines),
+		PerEngine: make([]sched.Result, len(engines)),
 	}
-	busy := make([]time.Duration, cfg.Engines)
+	busy := make([]time.Duration, len(engines))
 	for i, e := range engines {
 		busy[i] = e.BusyTime()
 		res.PerEngine[i] = e.Finish()
 	}
 	res.Result = aggregate(res.PerEngine)
-	if !cfg.Sched.RecordTasks {
-		res.Tasks = nil
-		for i := range res.PerEngine {
+	res.Result.Rejected = rejected
+	// Strip the outcomes the caller never asked for: engines record them
+	// unconditionally (the aggregation above needs them), but the caller's
+	// request lives in the per-spec options (which mirror cfg.Sched on the
+	// homogeneous path).
+	anyTasks := false
+	for i := range specs {
+		if specs[i].Sched.RecordTasks {
+			anyTasks = true
+		} else {
 			res.PerEngine[i].Tasks = nil
 		}
+	}
+	if !anyTasks {
+		res.Tasks = nil
 	}
 
 	var totalBusy, maxBusy time.Duration
@@ -151,11 +274,15 @@ func Run(newSched func(engine int) sched.Scheduler, reqs []*workload.Request, cf
 		}
 	}
 	if res.Makespan > 0 {
-		res.Utilization = float64(totalBusy) / (float64(cfg.Engines) * float64(res.Makespan))
+		res.Utilization = float64(totalBusy) / (float64(len(engines)) * float64(res.Makespan))
 	}
 	if totalBusy > 0 {
-		mean := float64(totalBusy) / float64(cfg.Engines)
+		mean := float64(totalBusy) / float64(len(engines))
 		res.Imbalance = float64(maxBusy) / mean
+	} else {
+		// All engines idle: nothing was concentrated anywhere, which is
+		// the perfectly balanced case, not a "better than balanced" 0.
+		res.Imbalance = 1
 	}
 	return res, nil
 }
@@ -220,6 +347,7 @@ func aggregate(per []sched.Result) sched.Result {
 	agg.Makespan = lastDone - firstArrival
 	if agg.Makespan > 0 {
 		agg.Throughput = float64(len(outcomes)) / agg.Makespan.Seconds()
+		agg.Goodput = float64(len(outcomes)-violations) / agg.Makespan.Seconds()
 	}
 	agg.PerModel = perModel
 	agg.Tasks = outcomes

@@ -83,7 +83,7 @@ func dispatchers(est *sched.Estimator, lut *trace.StatsSet) []Dispatcher {
 		NewRoundRobin(),
 		NewJSQ(),
 		NewLeastLoad("blind-load", BlindLoad(est)),
-		NewLeastLoad("sparse-load", SparsityAwareLoad(lut)),
+		NewLeastLoad("sparse-load", SparsityAwareLoad(lut, est)),
 	}
 }
 
@@ -152,7 +152,7 @@ func TestClusterInvariants(t *testing.T) {
 					if res.Utilization < 0 || res.Utilization > 1+1e-9 {
 						t.Errorf("%s/%s/%d: utilization %v", spec.name, d.Name(), engines, res.Utilization)
 					}
-					if res.Imbalance < 1-1e-9 && res.Imbalance != 0 {
+					if res.Imbalance < 1-1e-9 {
 						t.Errorf("%s/%s/%d: imbalance %v < 1", spec.name, d.Name(), engines, res.Imbalance)
 					}
 					if res.Tasks != nil {
@@ -170,7 +170,7 @@ func TestClusterDeterministic(t *testing.T) {
 	for _, mkDispatch := range []func() Dispatcher{
 		func() Dispatcher { return NewRoundRobin() },
 		func() Dispatcher { return NewJSQ() },
-		func() Dispatcher { return NewLeastLoad("sparse-load", SparsityAwareLoad(lut)) },
+		func() Dispatcher { return NewLeastLoad("sparse-load", SparsityAwareLoad(lut, est)) },
 	} {
 		run := func() Result {
 			res, err := Run(func(int) sched.Scheduler { return sched.NewSJF(est) }, reqs,
@@ -228,7 +228,7 @@ func TestLoadAwareBeatsRoundRobinImbalance(t *testing.T) {
 	}
 	rr := run(NewRoundRobin())
 	jsq := run(NewJSQ())
-	load := run(NewLeastLoad("sparse-load", SparsityAwareLoad(lut)))
+	load := run(NewLeastLoad("sparse-load", SparsityAwareLoad(lut, est)))
 	for _, r := range jsq.PerEngine {
 		if r.Requests == 0 {
 			t.Error("JSQ left an engine idle under saturation")
@@ -263,9 +263,113 @@ func TestDispatcherBoundsChecked(t *testing.T) {
 	}
 }
 
+// TestImbalanceDegenerateCase: an all-idle cluster (every layer free)
+// must report Imbalance 1.0 — the perfectly balanced value — not a 0 that
+// would sort as "better than perfectly balanced".
+func TestImbalanceDegenerateCase(t *testing.T) {
+	key := trace.Key{Model: "free", Pattern: sparsity.Dense}
+	tr := trace.SampleTrace{LayerLatency: []time.Duration{0, 0}, LayerSparsity: []float64{0.5, 0.5}}
+	store := trace.NewStore()
+	store.Add(key, []trace.SampleTrace{tr, tr})
+	set, err := trace.NewStatsSet(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := sched.NewEstimator(set)
+	reqs := make([]*workload.Request, 6)
+	for i := range reqs {
+		reqs[i] = &workload.Request{
+			ID: i, Key: key, Trace: tr,
+			Arrival: time.Duration(i) * time.Millisecond, SLO: time.Second,
+		}
+	}
+	res, err := Run(func(int) sched.Scheduler { return sched.NewFCFS() }, reqs,
+		Config{Engines: 3, Dispatch: NewLeastLoad("blind-load", BlindLoad(est))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Imbalance != 1 {
+		t.Errorf("all-idle cluster imbalance %v, want 1.0", res.Imbalance)
+	}
+}
+
+// TestAggregateWithDrops: cluster-wide Dropped/Makespan/Throughput/
+// Goodput must follow the same formulas sched.Run uses on the union of
+// outcomes, also when engines were finalized with work outstanding (the
+// deadline-bounded orchestration path Run itself never takes).
+func TestAggregateWithDrops(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	per := []sched.Result{
+		{
+			Scheduler: "X", Requests: 2, Dropped: 2, Preemptions: 3,
+			Tasks: []sched.TaskOutcome{
+				{ID: 0, Model: "a", Arrival: ms(10), Completion: ms(30), Isolated: ms(10), NTT: 2, Violated: false},
+				{ID: 2, Model: "a", Arrival: ms(20), Completion: ms(80), Isolated: ms(10), NTT: 6, Violated: true},
+			},
+		},
+		{
+			Scheduler: "X", Requests: 1, Dropped: 1, Preemptions: 1,
+			Tasks: []sched.TaskOutcome{
+				{ID: 1, Model: "b", Arrival: ms(5), Completion: ms(45), Isolated: ms(20), NTT: 2, Violated: false},
+			},
+		},
+	}
+	agg := aggregate(per)
+	if agg.Dropped != 3 {
+		t.Errorf("Dropped %d, want 3", agg.Dropped)
+	}
+	if agg.Requests != 3 {
+		t.Errorf("Requests %d, want 3", agg.Requests)
+	}
+	if agg.Preemptions != 4 {
+		t.Errorf("Preemptions %d, want 4", agg.Preemptions)
+	}
+	// Makespan: first arrival 5ms, last completion 80ms.
+	if want := ms(75); agg.Makespan != want {
+		t.Errorf("Makespan %v, want %v", agg.Makespan, want)
+	}
+	if want := 3 / ms(75).Seconds(); agg.Throughput != want {
+		t.Errorf("Throughput %v, want %v", agg.Throughput, want)
+	}
+	if want := 2 / ms(75).Seconds(); agg.Goodput != want {
+		t.Errorf("Goodput %v, want %v", agg.Goodput, want)
+	}
+	if want := 1.0 / 3; agg.ViolationRate != want {
+		t.Errorf("ViolationRate %v, want %v", agg.ViolationRate, want)
+	}
+	if want := (2.0 + 6 + 2) / 3; agg.ANTT != want {
+		t.Errorf("ANTT %v, want %v", agg.ANTT, want)
+	}
+	// Outcomes merge in task-ID order across engines.
+	for i, o := range agg.Tasks {
+		if o.ID != i {
+			t.Fatalf("outcome %d has ID %d: union not in ID order", i, o.ID)
+		}
+	}
+	// Per-model breakdown over the union.
+	if m := agg.PerModel["a"]; m.Requests != 2 || m.ANTT != 4 || m.ViolationRate != 0.5 {
+		t.Errorf("model a metrics %+v", m)
+	}
+	if m := agg.PerModel["b"]; m.Requests != 1 || m.ANTT != 2 || m.ViolationRate != 0 {
+		t.Errorf("model b metrics %+v", m)
+	}
+}
+
+// TestAggregateAllDropped: engines finalized before completing anything
+// aggregate to zeroed metrics with the drop count intact.
+func TestAggregateAllDropped(t *testing.T) {
+	agg := aggregate([]sched.Result{
+		{Scheduler: "X", Dropped: 2},
+		{Scheduler: "X", Dropped: 1},
+	})
+	if agg.Dropped != 3 || agg.Requests != 0 || agg.Throughput != 0 {
+		t.Errorf("all-dropped aggregate %+v", agg)
+	}
+}
+
 type badDispatcher struct{}
 
 func (badDispatcher) Name() string { return "bad" }
-func (badDispatcher) Pick([]*sched.Engine, *workload.Request, time.Duration) int {
+func (badDispatcher) Pick([]EngineSignal, *workload.Request, time.Duration) int {
 	return 99
 }

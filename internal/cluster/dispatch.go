@@ -9,16 +9,30 @@ import (
 )
 
 // Dispatcher routes an arriving request to one of the cluster's engines.
-// Pick is called once per request, in arrival order, with every engine
-// already advanced to the arrival instant (each engine's state reflects
-// the layers it had committed before `now`). Implementations must be
-// deterministic: same engines, same request, same answer. The returned
-// index selects engines[i]; an out-of-range index fails the run.
+// Pick is called once per admitted request, in arrival order, with the
+// SignalBoard's per-engine signals — snapshots that may be stale by up to
+// the run's SignalInterval (exact when the interval is 0). Implementations
+// must be deterministic: same signals, same request, same answer. The
+// returned index selects engines[i]; an out-of-range index fails the run.
 type Dispatcher interface {
 	// Name identifies the policy in results.
 	Name() string
 	// Pick selects the engine for the request arriving at now.
-	Pick(engines []*sched.Engine, r *workload.Request, now time.Duration) int
+	Pick(sig []EngineSignal, r *workload.Request, now time.Duration) int
+}
+
+// loadProvider is implemented by dispatchers (and admission policies)
+// that need the SignalBoard to maintain a Backlog signal: the board is
+// built with the first load function the run's policies provide.
+type loadProvider interface {
+	LoadFunc() func(*sched.Task) time.Duration
+}
+
+// resettable is implemented by stateful dispatchers; cluster.Run resets
+// them at the start of every run so an instance reused across runs cannot
+// leak state between them.
+type resettable interface {
+	Reset()
 }
 
 // RoundRobin cycles through engines in index order, ignoring load: the
@@ -33,16 +47,27 @@ func NewRoundRobin() *RoundRobin { return &RoundRobin{} }
 // Name implements Dispatcher.
 func (*RoundRobin) Name() string { return "rr" }
 
-// Pick implements Dispatcher.
-func (d *RoundRobin) Pick(engines []*sched.Engine, _ *workload.Request, _ time.Duration) int {
-	i := d.next % len(engines)
-	d.next++
+// Reset restarts the rotation at engine 0 (called by cluster.Run, so a
+// dispatcher instance reused across two runs starts both identically).
+func (d *RoundRobin) Reset() { d.next = 0 }
+
+// Pick implements Dispatcher. The counter wraps inside [0, len(sig)), so
+// it can neither overflow nor go out of range when the engine count
+// changes between runs.
+func (d *RoundRobin) Pick(sig []EngineSignal, _ *workload.Request, _ time.Duration) int {
+	if d.next >= len(sig) {
+		d.next = 0
+	}
+	i := d.next
+	d.next = (d.next + 1) % len(sig)
 	return i
 }
 
 // JSQ is Join-the-Shortest-Queue: the engine with the fewest outstanding
-// requests, ties to the lowest index. Load-aware but size-blind — a queue
-// of three MobileNets counts the same as a queue of three BERTs.
+// requests, capacity-normalized (a queue of n on a half-speed engine
+// counts like 2n on a reference one), ties to the lowest index. Load-aware
+// but size-blind — a queue of three MobileNets counts the same as a queue
+// of three BERTs.
 type JSQ struct{}
 
 // NewJSQ returns the join-the-shortest-queue dispatcher.
@@ -52,10 +77,10 @@ func NewJSQ() *JSQ { return &JSQ{} }
 func (*JSQ) Name() string { return "jsq" }
 
 // Pick implements Dispatcher.
-func (*JSQ) Pick(engines []*sched.Engine, _ *workload.Request, _ time.Duration) int {
-	best, bestLen := 0, engines[0].Outstanding()
-	for i := 1; i < len(engines); i++ {
-		if n := engines[i].Outstanding(); n < bestLen {
+func (*JSQ) Pick(sig []EngineSignal, _ *workload.Request, _ time.Duration) int {
+	best, bestLen := 0, sig[0].NormOutstanding()
+	for i := 1; i < len(sig); i++ {
+		if n := sig[i].NormOutstanding(); n < bestLen {
 			best, bestLen = i, n
 		}
 	}
@@ -64,10 +89,11 @@ func (*JSQ) Pick(engines []*sched.Engine, _ *workload.Request, _ time.Duration) 
 
 // LeastLoad routes to the engine with the smallest predicted outstanding
 // work: the sum of a per-task remaining-latency estimate over every
-// queued request. With a sparsity-aware estimate (SparsityAwareLoad) this
-// is the dispatch-layer analogue of Dysta's scheduling insight — the same
-// architecture differs up to ~40% in effective work across sparsity
-// patterns (paper Fig. 4), so queue length alone misjudges backlog.
+// queued request, capacity-normalized to the engine's drain time. With a
+// sparsity-aware estimate (SparsityAwareLoad) this is the dispatch-layer
+// analogue of Dysta's scheduling insight — the same architecture differs
+// up to ~40% in effective work across sparsity patterns (paper Fig. 4),
+// so queue length alone misjudges backlog.
 type LeastLoad struct {
 	name string
 	load func(*sched.Task) time.Duration
@@ -82,11 +108,14 @@ func NewLeastLoad(name string, load func(*sched.Task) time.Duration) *LeastLoad 
 // Name implements Dispatcher.
 func (d *LeastLoad) Name() string { return d.name }
 
+// LoadFunc exposes the estimate to the SignalBoard (loadProvider).
+func (d *LeastLoad) LoadFunc() func(*sched.Task) time.Duration { return d.load }
+
 // Pick implements Dispatcher.
-func (d *LeastLoad) Pick(engines []*sched.Engine, _ *workload.Request, _ time.Duration) int {
-	best, bestLoad := 0, engines[0].EstimatedBacklog(d.load)
-	for i := 1; i < len(engines); i++ {
-		if w := engines[i].EstimatedBacklog(d.load); w < bestLoad {
+func (d *LeastLoad) Pick(sig []EngineSignal, _ *workload.Request, _ time.Duration) int {
+	best, bestLoad := 0, sig[0].NormBacklog()
+	for i := 1; i < len(sig); i++ {
+		if w := sig[i].NormBacklog(); w < bestLoad {
 			best, bestLoad = i, w
 		}
 	}
@@ -95,21 +124,32 @@ func (d *LeastLoad) Pick(engines []*sched.Engine, _ *workload.Request, _ time.Du
 
 // BlindLoad estimates a task's remaining work from the pattern-blind
 // profiling Estimator — the load signal a sparsity-unaware serving stack
-// has available.
+// has available. Tasks whose model was never profiled fall back to the
+// profiling population's mean isolated latency rather than panicking (the
+// scheduler-facing Estimator accessors run only after workload
+// validation; a router sees whatever traffic shows up).
 func BlindLoad(est *sched.Estimator) func(*sched.Task) time.Duration {
-	return est.Remaining
+	return func(t *sched.Task) time.Duration {
+		if st := est.ModelStats(t.Key.Model); st != nil {
+			return st.AvgRemaining(t.NextLayer)
+		}
+		return est.MeanIsolated()
+	}
 }
 
 // SparsityAwareLoad estimates a task's remaining work from the Dysta LUT,
 // keyed by the model-pattern pair (paper §5.1): the static-sparsity-aware
-// estimate the hardware profiling stage provides. Unknown keys fall back
-// to zero (the dispatcher then treats them as free, which only ever
-// happens for tasks outside the profiled benchmark).
-func SparsityAwareLoad(lut *trace.StatsSet) func(*sched.Task) time.Duration {
+// estimate the hardware profiling stage provides. A key the LUT never
+// profiled falls back to the pattern-blind estimate — never to zero: a
+// zero estimate would make LeastLoad treat exactly the unprofiled traffic
+// a production router must handle as free work and dump all of it onto
+// one engine.
+func SparsityAwareLoad(lut *trace.StatsSet, est *sched.Estimator) func(*sched.Task) time.Duration {
+	blind := BlindLoad(est)
 	return func(t *sched.Task) time.Duration {
 		if st := lut.Lookup(t.Key); st != nil {
 			return st.AvgRemaining(t.NextLayer)
 		}
-		return 0
+		return blind(t)
 	}
 }

@@ -1,0 +1,118 @@
+package cluster
+
+import (
+	"time"
+
+	"sparsedysta/internal/sched"
+)
+
+// EngineSignal is one engine's dispatcher-visible state: a snapshot taken
+// by the SignalBoard, possibly stale by up to Config.SignalInterval of
+// virtual time. Dispatchers and admission policies read only these
+// signals — never the engines directly — which is what lets the cluster
+// model a real router whose metrics pipeline lags the data plane.
+type EngineSignal struct {
+	// Outstanding is the engine's injected-but-uncompleted request count
+	// at the last refresh.
+	Outstanding int
+	// Backlog is the engine's EstimatedBacklog under the run's load
+	// estimator at the last refresh, in reference-hardware units. Zero
+	// when the run has no load estimator (e.g. pure round-robin).
+	Backlog time.Duration
+	// LatencyScale is the engine's static capacity spec (1 = reference
+	// speed, 2 = half speed). Hardware doesn't change at runtime, so
+	// this field is always exact, never stale.
+	LatencyScale float64
+}
+
+// NormOutstanding is the capacity-normalized queue length: the signal's
+// outstanding count weighted by the engine's latency scale, so that a
+// queue of n on a half-speed engine counts like 2n on a reference one.
+// JSQ compares these so fast engines aren't starved in a heterogeneous
+// cluster. With homogeneous scale-1 engines it reduces to the plain count
+// (float comparison of small integers is exact, so homogeneous picks stay
+// bit-identical to the integer comparison).
+func (s EngineSignal) NormOutstanding() float64 {
+	return float64(s.Outstanding) * s.LatencyScale
+}
+
+// NormBacklog is the capacity-normalized predicted backlog: the
+// reference-units backlog estimate scaled to this engine's actual drain
+// time. LeastLoad compares these.
+func (s EngineSignal) NormBacklog() float64 {
+	return float64(s.Backlog) * s.LatencyScale
+}
+
+// DrainTime is the signal's predicted wall-clock time to drain the
+// backlog: NormBacklog as a duration. Admission policies use it to
+// predict queueing delay.
+func (s EngineSignal) DrainTime() time.Duration {
+	return time.Duration(s.NormBacklog())
+}
+
+// SignalBoard mediates between engines and the dispatch layer: it holds
+// one EngineSignal per engine and refreshes them from live engine state
+// only when the observing instant is at least `interval` of virtual time
+// past the last refresh. Interval 0 refreshes on every observation,
+// reproducing the exact-state dispatch of the idealized router
+// bit-identically.
+//
+// Determinism: refreshes are tied to arrival instants (signals are only
+// observed when a request arrives), so snapshot times are a pure function
+// of the request stream — no wall clock, no periodic timer goroutine.
+type SignalBoard struct {
+	engines  []*sched.Engine
+	interval time.Duration
+	load     func(*sched.Task) time.Duration
+	sig      []EngineSignal
+	last     time.Duration
+	fresh    bool
+}
+
+// NewSignalBoard wraps the engines. load is the per-task remaining-work
+// estimate used for the Backlog signal (nil leaves Backlog zero);
+// interval is the staleness bound (0 = exact state on every observation).
+func NewSignalBoard(engines []*sched.Engine, interval time.Duration, load func(*sched.Task) time.Duration) *SignalBoard {
+	b := &SignalBoard{
+		engines:  engines,
+		interval: interval,
+		load:     load,
+		sig:      make([]EngineSignal, len(engines)),
+	}
+	for i, e := range engines {
+		b.sig[i].LatencyScale = e.LatencyScale()
+	}
+	return b
+}
+
+// Observe returns the per-engine signals as seen at virtual time now,
+// refreshing them first if the board has never refreshed or the last
+// refresh is at least the signal interval old. The returned slice is the
+// board's own; callers must not retain or mutate it across observations.
+func (b *SignalBoard) Observe(now time.Duration) []EngineSignal {
+	if !b.fresh || b.interval == 0 || now-b.last >= b.interval {
+		b.Refresh(now)
+	}
+	return b.sig
+}
+
+// Refresh snapshots every engine's live state unconditionally and stamps
+// the board with now.
+func (b *SignalBoard) Refresh(now time.Duration) {
+	for i, e := range b.engines {
+		b.sig[i].Outstanding = e.Outstanding()
+		if b.load != nil {
+			b.sig[i].Backlog = e.EstimatedBacklog(b.load)
+		}
+	}
+	b.last = now
+	b.fresh = true
+}
+
+// Age returns how stale the current signals are at virtual time now.
+func (b *SignalBoard) Age(now time.Duration) time.Duration {
+	if !b.fresh {
+		return 0
+	}
+	return now - b.last
+}

@@ -1,0 +1,145 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"sparsedysta/internal/sched"
+)
+
+// TestNeutralKnobsBitIdentical is the equivalence anchor for the router
+// rearchitecture: explicit homogeneous specs + SignalInterval 0 +
+// AdmitAll must reproduce the plain idealized configuration bit-
+// identically, for every dispatcher — the new knobs at their neutral
+// settings change nothing.
+func TestNeutralKnobsBitIdentical(t *testing.T) {
+	for seed := uint64(1); seed <= 6; seed++ {
+		reqs, est, lut := randomStream(seed, 60)
+		for _, mk := range []func() Dispatcher{
+			func() Dispatcher { return NewRoundRobin() },
+			func() Dispatcher { return NewJSQ() },
+			func() Dispatcher { return NewLeastLoad("sparse-load", SparsityAwareLoad(lut, est)) },
+			func() Dispatcher { return NewLeastLoad("blind-load", BlindLoad(est)) },
+		} {
+			plain, err := Run(func(int) sched.Scheduler { return sched.NewSJF(est) }, reqs,
+				Config{Engines: 3, Dispatch: mk()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			specs := []EngineSpec{{LatencyScale: 1}, {LatencyScale: 1}, {LatencyScale: 1}}
+			explicit, err := Run(func(int) sched.Scheduler { return sched.NewSJF(est) }, reqs,
+				Config{Specs: specs, Dispatch: mk(), SignalInterval: 0, Admission: AdmitAll{}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(plain, explicit) {
+				t.Fatalf("%s (seed %d): neutral knobs diverge from the idealized router",
+					mk().Name(), seed)
+			}
+		}
+	}
+}
+
+// TestSignalBoardCachesBetweenRefreshes: within the interval Observe
+// returns the frozen snapshot; past it, a refresh picks up live state.
+func TestSignalBoardCachesBetweenRefreshes(t *testing.T) {
+	reqs, est, _ := randomStream(3, 8)
+	e := sched.NewEngine(sched.NewFCFS(), sched.Options{})
+	board := NewSignalBoard([]*sched.Engine{e}, 10*time.Millisecond, BlindLoad(est))
+
+	sig := board.Observe(0)
+	if sig[0].Outstanding != 0 {
+		t.Fatalf("fresh engine reads %d outstanding", sig[0].Outstanding)
+	}
+	if err := e.Inject(reqs[0], reqs[0].Arrival); err != nil {
+		t.Fatal(err)
+	}
+	// Inside the interval: the injection is invisible.
+	if sig = board.Observe(5 * time.Millisecond); sig[0].Outstanding != 0 {
+		t.Errorf("stale snapshot saw a post-refresh injection (outstanding %d)", sig[0].Outstanding)
+	}
+	if age := board.Age(5 * time.Millisecond); age != 5*time.Millisecond {
+		t.Errorf("age %v, want 5ms", age)
+	}
+	// At the interval boundary: refreshed.
+	if sig = board.Observe(10 * time.Millisecond); sig[0].Outstanding != 1 {
+		t.Errorf("boundary observation not refreshed (outstanding %d)", sig[0].Outstanding)
+	}
+	if sig[0].Backlog == 0 {
+		t.Error("refresh did not recompute the backlog signal")
+	}
+}
+
+// TestStaleSignalsConcentrateWork: with a refresh interval spanning many
+// arrivals, every state-aware policy routes whole bursts to whichever
+// engine looked emptiest at the last refresh — so the cluster must end up
+// more concentrated (higher imbalance) than under exact signals.
+func TestStaleSignalsConcentrateWork(t *testing.T) {
+	reqs, est, _ := randomStream(21, 300)
+	for _, r := range reqs {
+		r.Arrival /= 10
+	}
+	run := func(interval time.Duration) Result {
+		res, err := Run(func(int) sched.Scheduler { return sched.NewSJF(est) }, reqs,
+			Config{Engines: 4, Dispatch: NewJSQ(), SignalInterval: interval})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	exact := run(0)
+	// Far beyond the compressed stream's span: one refresh serves (almost)
+	// the whole run.
+	stale := run(time.Hour)
+	if stale.Imbalance <= exact.Imbalance {
+		t.Errorf("hour-stale JSQ imbalance %.3f not worse than exact-state %.3f",
+			stale.Imbalance, exact.Imbalance)
+	}
+	// The degenerate stale case: the first snapshot shows four empty
+	// engines forever, so JSQ's lowest-index tie-break sends everything
+	// to engine 0.
+	if stale.PerEngine[0].Requests != len(reqs) {
+		t.Errorf("hour-stale JSQ spread requests (%d on engine 0), want full concentration",
+			stale.PerEngine[0].Requests)
+	}
+}
+
+// TestHeterogeneousEnginesRunAtTheirSpeed: the same request served by a
+// half-speed engine takes twice the reference busy time — the latency
+// scale reaches the engine's cost model, not just the dispatcher math.
+func TestHeterogeneousEnginesRunAtTheirSpeed(t *testing.T) {
+	reqs, est, _ := randomStream(2, 40)
+	run := func(scale float64) Result {
+		res, err := Run(func(int) sched.Scheduler { return sched.NewSJF(est) }, reqs,
+			Config{Specs: []EngineSpec{{LatencyScale: scale}}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	ref, slow := run(1), run(2)
+	if slow.MeanLatency <= ref.MeanLatency {
+		t.Errorf("half-speed engine mean latency %v not above reference %v",
+			slow.MeanLatency, ref.MeanLatency)
+	}
+	if slow.ANTT <= ref.ANTT {
+		t.Errorf("half-speed ANTT %.3f not above reference %.3f (NTT is measured against the reference contract)",
+			slow.ANTT, ref.ANTT)
+	}
+}
+
+// TestEngineSpecsValidation: contradictions and bad scales fail the run.
+func TestEngineSpecsValidation(t *testing.T) {
+	reqs, est, _ := randomStream(3, 5)
+	mk := func(int) sched.Scheduler { return sched.NewSJF(est) }
+	if _, err := Run(mk, reqs, Config{Engines: 3, Specs: []EngineSpec{{}, {}}}); err == nil {
+		t.Error("Engines contradicting len(Specs) accepted")
+	}
+	if _, err := Run(mk, reqs, Config{Specs: []EngineSpec{{LatencyScale: -1}}}); err == nil {
+		t.Error("negative latency scale accepted")
+	}
+	if _, err := Run(mk, reqs, Config{Engines: 2, Specs: []EngineSpec{{}, {}}}); err != nil {
+		t.Errorf("Engines matching len(Specs) rejected: %v", err)
+	}
+}

@@ -1,6 +1,9 @@
 package exp
 
 import (
+	"time"
+
+	"sparsedysta/internal/cluster"
 	"sparsedysta/internal/core"
 	"sparsedysta/internal/sched"
 	"sparsedysta/internal/trace"
@@ -34,6 +37,22 @@ type Options struct {
 	// "load" (sparsity-aware least-predicted-load via the Dysta LUT), or
 	// "blind-load" (least-predicted-load on the pattern-blind estimator).
 	Dispatch string
+	// EngineSpecs configures a heterogeneous cluster (one entry per
+	// engine, see ParseEngines for the CLI syntax). Non-empty overrides
+	// Engines and always routes runs through the cluster.
+	EngineSpecs []cluster.EngineSpec
+	// SignalInterval bounds the staleness of the dispatcher-visible
+	// engine signals (cluster runs): snapshots refresh only when an
+	// arrival is at least this much virtual time past the last refresh.
+	// 0 is the idealized exact-state router.
+	SignalInterval time.Duration
+	// Admission names the dispatch-layer admission policy: "" or "none"
+	// (admit everything), "queue-cap[:N]" (shed when every engine holds
+	// >= N outstanding requests, default 16), or "slo" (shed requests
+	// predicted to miss their SLO on every engine). Setting it (like
+	// setting SignalInterval) routes even single-engine runs through the
+	// cluster dispatch layer so the policy always applies.
+	Admission string
 }
 
 // DefaultOptions returns the paper-scale protocol.

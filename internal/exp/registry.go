@@ -36,6 +36,8 @@ var registry = map[string]Runner{
 	"ablation-glb":      AblationGLB,
 
 	"scale-engines": ScaleEngines,
+	"stale-signals": StaleSignals,
+	"hetero-scale":  HeteroScale,
 }
 
 // order is the presentation order of the paper artefacts.
@@ -61,7 +63,7 @@ func AblationIDs() []string {
 }
 
 // scale lists the beyond-the-paper scaling studies.
-var scale = []string{"scale-engines"}
+var scale = []string{"scale-engines", "stale-signals", "hetero-scale"}
 
 // ScaleIDs returns the scaling-study experiment ids.
 func ScaleIDs() []string { return append([]string(nil), scale...) }

@@ -49,18 +49,51 @@ func (p *Pipeline) runCell(spec SchedSpec, pt Point, seed int, opts Options) (sc
 	if err != nil {
 		return sched.Result{}, fmt.Errorf("exp: generating %s workload: %w", p.Scenario.Name, err)
 	}
-	if opts.Engines > 1 {
+	// The cluster path serves any run that needs the dispatch layer:
+	// more than one engine, an explicit (possibly heterogeneous) spec, a
+	// stale signal board, or an admission policy. A 1-engine cluster is
+	// bit-identical to the direct path at neutral knob settings, so
+	// admission on a single accelerator still works — and a bad
+	// -admission name errors instead of being silently ignored.
+	clustered := opts.Engines > 1 || len(opts.EngineSpecs) > 0 ||
+		opts.SignalInterval > 0 || (opts.Admission != "" && opts.Admission != "none")
+	if clustered {
 		d, err := NewDispatcher(opts.Dispatch, p)
 		if err != nil {
 			return sched.Result{}, err
 		}
-		cres, err := cluster.Run(func(int) sched.Scheduler { return spec.New(p) }, reqs,
-			cluster.Config{Engines: opts.Engines, Dispatch: d})
+		adm, err := NewAdmission(opts.Admission, p)
+		if err != nil {
+			return sched.Result{}, err
+		}
+		cfg := cluster.Config{
+			Engines:        opts.Engines,
+			Specs:          opts.EngineSpecs,
+			Dispatch:       d,
+			Admission:      adm,
+			SignalInterval: opts.SignalInterval,
+		}
+		engines := cfg.Engines
+		if len(cfg.Specs) > 0 {
+			cfg.Engines = 0 // Specs define the count
+			engines = len(cfg.Specs)
+		} else if cfg.Engines < 1 {
+			// Admission/staleness on the default single accelerator.
+			cfg.Engines = 1
+			engines = 1
+		}
+		cres, err := cluster.Run(func(int) sched.Scheduler { return spec.New(p) }, reqs, cfg)
 		if err != nil {
 			return sched.Result{}, fmt.Errorf("exp: running %s on %d engines: %w",
-				spec.Name, opts.Engines, err)
+				spec.Name, engines, err)
 		}
 		return cres.Result, nil
+	}
+	// The direct path never dispatches, but a bad -dispatch name is a
+	// misconfiguration either way: validate it instead of silently
+	// ignoring it (mirrors the admission-name validation above).
+	if _, err := NewDispatcher(opts.Dispatch, p); err != nil {
+		return sched.Result{}, err
 	}
 	res, err := sched.Run(spec.New(p), reqs, sched.Options{})
 	if err != nil {

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"sort"
 	"time"
 
 	"sparsedysta/internal/trace"
@@ -24,6 +25,9 @@ type Estimator struct {
 	set *trace.StatsSet
 	// byModel holds the pattern-blind merge per model.
 	byModel map[string]*trace.Stats
+	// meanIsolated is the mean AvgTotal across profiled models: the
+	// population prior for traffic the profiling stage never saw.
+	meanIsolated time.Duration
 }
 
 // NewEstimator returns a pattern-blind Estimator over the profiling LUT.
@@ -34,8 +38,33 @@ func NewEstimator(set *trace.StatsSet) *Estimator {
 			e.byModel[k.Model] = set.MergedByModel(k.Model)
 		}
 	}
+	// Accumulate in sorted-model order: float addition is not
+	// associative, so map-iteration order would make the prior vary
+	// between processes for the same inputs.
+	models := make([]string, 0, len(e.byModel))
+	for m := range e.byModel {
+		models = append(models, m)
+	}
+	sort.Strings(models)
+	var sum float64
+	for _, m := range models {
+		sum += float64(e.byModel[m].AvgTotal)
+	}
+	if len(models) > 0 {
+		e.meanIsolated = time.Duration(sum / float64(len(models)))
+	}
 	return e
 }
+
+// ModelStats returns the pattern-blind profile merged across the model's
+// profiled patterns, or nil when the model was never profiled. Cluster
+// dispatch fallbacks use it to avoid the panic of the scheduler-facing
+// accessors, which run only after workload validation.
+func (e *Estimator) ModelStats(model string) *trace.Stats { return e.byModel[model] }
+
+// MeanIsolated returns the mean profiled isolated latency across models:
+// the deterministic last-resort estimate for entirely unprofiled traffic.
+func (e *Estimator) MeanIsolated() time.Duration { return e.meanIsolated }
 
 // stats returns the pattern-blind profile for the task's model.
 func (e *Estimator) stats(t *Task) *trace.Stats {

@@ -25,6 +25,15 @@ type Options struct {
 	// schedulers implementing IncrementalScheduler. The equivalence tests
 	// use it to prove both paths produce bit-identical schedules.
 	ReferencePick bool
+	// LatencyScale models a faster or slower accelerator of the same
+	// architecture: every executed layer latency (and the preemption
+	// overhead) is multiplied by this factor in the engine's cost model.
+	// 0 (and 1) mean reference speed, 2 a half-speed device, 0.5 a
+	// double-speed one. Task ground truth (TrueIsolated/TrueRemaining)
+	// stays in reference units, so NTT and SLOs keep measuring against
+	// the service contract of the reference hardware, independent of
+	// which device serves the request.
+	LatencyScale float64
 }
 
 // Engine is one steppable simulated accelerator: a discrete-event,
@@ -49,6 +58,8 @@ type Engine struct {
 	s    Scheduler
 	inc  IncrementalScheduler
 	opts Options
+	// scale is the effective latency scale (Options.LatencyScale, 0 → 1).
+	scale float64
 
 	now     time.Duration
 	ready   ReadyQueue
@@ -71,7 +82,10 @@ type Engine struct {
 // scheduler. Exactly one scheduler instance must own each engine:
 // schedulers carry per-run state (heaps, per-task attachments).
 func NewEngine(s Scheduler, opts Options) *Engine {
-	e := &Engine{s: s, opts: opts}
+	e := &Engine{s: s, opts: opts, scale: opts.LatencyScale}
+	if e.scale <= 0 {
+		e.scale = 1
+	}
 	if inc, ok := s.(IncrementalScheduler); ok && !opts.ReferencePick {
 		e.inc = inc
 	}
@@ -138,6 +152,22 @@ func (e *Engine) Completed() int { return len(e.done) }
 // layer latency plus charged preemption overhead.
 func (e *Engine) BusyTime() time.Duration { return e.busy }
 
+// LatencyScale returns the engine's effective latency scale factor
+// (Options.LatencyScale, defaulted to 1): the capacity signal cluster
+// dispatchers use to normalize load estimates across a heterogeneous
+// cluster. It is a static hardware property, never stale.
+func (e *Engine) LatencyScale() float64 { return e.scale }
+
+// scaleDur applies the engine's latency scale to a reference-hardware
+// duration. The scale-1 fast path avoids float arithmetic so homogeneous
+// runs stay bit-identical to the pre-heterogeneity engine.
+func (e *Engine) scaleDur(d time.Duration) time.Duration {
+	if e.scale == 1 {
+		return d
+	}
+	return time.Duration(float64(d) * e.scale)
+}
+
 // EstimatedBacklog sums load(t) over every outstanding task, the
 // engine-load signal cluster dispatchers use. load typically wraps a
 // profiling estimate (Estimator.Remaining, or the Dysta LUT's per-pattern
@@ -198,13 +228,15 @@ func (e *Engine) Step() (time.Duration, error) {
 	}
 	if e.last != nil && e.last != pick && !e.last.Done {
 		e.preempts++
-		e.now += e.opts.PreemptionOverhead
-		e.busy += e.opts.PreemptionOverhead
+		overhead := e.scaleDur(e.opts.PreemptionOverhead)
+		e.now += overhead
+		e.busy += overhead
 	}
 	e.last = pick
 
 	layer := pick.NextLayer
-	dur := pick.nextLayerLatency()
+	raw := pick.nextLayerLatency()
+	dur := e.scaleDur(raw)
 	if e.timeline != nil {
 		e.timeline.record(pick.ID, e.now, e.now+dur)
 	}
@@ -213,7 +245,10 @@ func (e *Engine) Step() (time.Duration, error) {
 	pick.ExecTime += dur
 	pick.LastRun = e.now
 	pick.NextLayer++
-	pick.trueRemaining -= dur
+	// Ground-truth remaining stays in reference units (the unscaled
+	// trace), so Oracle scoring and profiling estimates remain
+	// comparable across engines of different speeds.
+	pick.trueRemaining -= raw
 	if pick.NextLayer == pick.NumLayers() {
 		// Mark completion before notifying the scheduler, so
 		// OnLayerComplete implementations can release their per-task
@@ -261,6 +296,7 @@ func (e *Engine) Finish() Result {
 	res.Makespan = lastDone - e.firstArrival
 	if res.Makespan > 0 {
 		res.Throughput = float64(len(e.done)) / res.Makespan.Seconds()
+		res.Goodput = float64(len(e.done)-violations) / res.Makespan.Seconds()
 	}
 	res.PerModel = map[string]ModelMetrics{}
 	for _, t := range e.done {

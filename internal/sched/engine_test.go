@@ -2,6 +2,7 @@ package sched
 
 import (
 	"math"
+	"reflect"
 	"testing"
 	"time"
 
@@ -274,5 +275,68 @@ func TestSeedSpread(t *testing.T) {
 	}
 	if a, v := SeedSpread(rs[:1]); a != 0 || v != 0 {
 		t.Error("single-seed spread not zero")
+	}
+}
+
+// TestLatencyScale: a scaled engine runs the same schedule at scaled
+// speed — exact doubling for scale 2, exact halving for 0.5 — while the
+// ground-truth isolated latency (and so the SLO contract) stays in
+// reference units. Scale 1 (and 0) must be bit-identical to the unscaled
+// engine.
+func TestLatencyScale(t *testing.T) {
+	reqs := []*workload.Request{
+		synthReq(0, "a", 0, 4*time.Millisecond, 3, 10),
+		synthReq(1, "b", 1*time.Millisecond, 2*time.Millisecond, 2, 10),
+	}
+	run := func(scale float64) Result {
+		res, err := Run(NewFCFS(), reqs, Options{LatencyScale: scale, RecordTasks: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	ref := run(1)
+	if zero := run(0); !reflect.DeepEqual(ref, zero) {
+		t.Error("LatencyScale 0 differs from 1 (both mean reference speed)")
+	}
+	slow := run(2)
+	// FCFS on this stream never idles after the first arrival, so every
+	// execution interval doubles: request 0 completes at 2x its reference
+	// completion, and the trailing request's turnaround more than doubles.
+	if want := ref.Tasks[0].Completion * 2; slow.Tasks[0].Completion != want {
+		t.Errorf("scaled completion %v, want exactly %v", slow.Tasks[0].Completion, want)
+	}
+	// Isolated stays the reference contract, so NTT doubles with latency.
+	if slow.Tasks[0].Isolated != ref.Tasks[0].Isolated {
+		t.Errorf("scaling changed the isolated latency contract: %v vs %v",
+			slow.Tasks[0].Isolated, ref.Tasks[0].Isolated)
+	}
+	if slow.ANTT <= ref.ANTT {
+		t.Errorf("half-speed ANTT %.3f not above reference %.3f", slow.ANTT, ref.ANTT)
+	}
+	fast := run(0.5)
+	if fast.MeanLatency >= ref.MeanLatency {
+		t.Errorf("double-speed mean latency %v not below reference %v", fast.MeanLatency, ref.MeanLatency)
+	}
+}
+
+// TestGoodputAccounting: goodput is SLO-met completions per makespan
+// second — Throughput * (1 - ViolationRate) by construction.
+func TestGoodputAccounting(t *testing.T) {
+	reqs := []*workload.Request{
+		synthReq(0, "a", 0, 4*time.Millisecond, 3, 1.01),                  // tight: violated once queued behind
+		synthReq(1, "a", 1*time.Millisecond, 4*time.Millisecond, 3, 1.01), // waits, violates
+		synthReq(2, "a", 40*time.Millisecond, 4*time.Millisecond, 3, 10),  // relaxed, meets
+	}
+	res, err := Run(NewFCFS(), reqs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Goodput <= 0 || res.Goodput > res.Throughput {
+		t.Fatalf("goodput %v outside (0, throughput %v]", res.Goodput, res.Throughput)
+	}
+	want := res.Throughput * (1 - res.ViolationRate)
+	if diff := res.Goodput - want; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("goodput %v, want throughput*(1-viol) = %v", res.Goodput, want)
 	}
 }

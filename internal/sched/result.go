@@ -19,6 +19,11 @@ type Result struct {
 	// Throughput is completed requests per second of makespan (the
 	// paper's STP, inf/s).
 	Throughput float64
+	// Goodput is completed requests that met their SLO per second of
+	// makespan: the throughput a serving operator actually gets paid
+	// for. Admission control trades throughput for goodput by shedding
+	// requests predicted to violate anyway.
+	Goodput float64
 	// MeanLatency and P99Latency summarize multi-tenant turnaround.
 	MeanLatency time.Duration
 	P99Latency  time.Duration
@@ -34,6 +39,12 @@ type Result struct {
 	// — typically biased optimistic, since the unfinished stragglers are
 	// the slow, violating ones.
 	Dropped int
+	// Rejected counts requests shed by a dispatch-layer admission policy
+	// before ever reaching an engine (internal/cluster). A rejected
+	// request appears in no other metric: ANTT, latency percentiles and
+	// violation rate cover admitted requests only, which is why Goodput —
+	// not ViolationRate — is the headline metric under admission control.
+	Rejected int
 	// Makespan is the time from first arrival to last completion.
 	Makespan time.Duration
 	// PerModel breaks ANTT and violation rate down by model name; short
@@ -89,9 +100,11 @@ func AverageResults(rs []Result) Result {
 		avg.ANTT += r.ANTT
 		avg.ViolationRate += r.ViolationRate
 		avg.Throughput += r.Throughput
+		avg.Goodput += r.Goodput
 		avg.Preemptions += r.Preemptions
 		avg.Requests += r.Requests
 		avg.Dropped += r.Dropped
+		avg.Rejected += r.Rejected
 		meanLat += float64(r.MeanLatency)
 		p99Lat += float64(r.P99Latency)
 		makespan += float64(r.Makespan)
@@ -118,9 +131,11 @@ func AverageResults(rs []Result) Result {
 	avg.ANTT /= n
 	avg.ViolationRate /= n
 	avg.Throughput /= n
+	avg.Goodput /= n
 	avg.Preemptions = int(math.Round(float64(avg.Preemptions) / n))
 	avg.Requests = int(math.Round(float64(avg.Requests) / n))
 	avg.Dropped = int(math.Round(float64(avg.Dropped) / n))
+	avg.Rejected = int(math.Round(float64(avg.Rejected) / n))
 	avg.MeanLatency = time.Duration(meanLat / n)
 	avg.P99Latency = time.Duration(p99Lat / n)
 	avg.Makespan = time.Duration(makespan / n)
