@@ -7,6 +7,7 @@ package sparsedysta
 
 import (
 	"testing"
+	"time"
 
 	"sparsedysta/internal/accel"
 	"sparsedysta/internal/cluster"
@@ -138,6 +139,33 @@ func BenchmarkClusterRoundRobin(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := cluster.Run(func(int) sched.Scheduler { return core.NewDefault(lut) }, reqs,
 			cluster.Config{Engines: 4, Dispatch: cluster.NewRoundRobin()}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClusterSteal measures the migration hot path: the 500-request
+// stream on 4 engines behind stale load-aware dispatch with work
+// stealing rebalancing every millisecond — the configuration that
+// exercises Extract/Adopt, live view construction, and the drain-phase
+// rebalance rounds on top of BenchmarkClusterDysta's baseline.
+func BenchmarkClusterSteal(b *testing.B) {
+	lut, reqs := benchWorkload(b)
+	est := sched.NewEstimator(lut)
+	load := cluster.SparsityAwareLoad(lut, est)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := cluster.NewLeastLoad("load", load)
+		if _, err := cluster.Run(func(int) sched.Scheduler { return core.NewDefault(lut) }, reqs,
+			cluster.Config{
+				Engines:           4,
+				Dispatch:          d,
+				SignalInterval:    20 * time.Millisecond,
+				Rebalance:         cluster.Steal{Load: load},
+				RebalanceInterval: time.Millisecond,
+				MigrationCost:     200 * time.Microsecond,
+			}); err != nil {
 			b.Fatal(err)
 		}
 	}

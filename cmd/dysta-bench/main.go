@@ -8,8 +8,9 @@
 //	dysta-bench -exp fig14 -quick    # reduced protocol (fast)
 //	dysta-bench -list                # list experiment ids
 //
-// See DESIGN.md §4 for the experiment index and EXPERIMENTS.md for
-// paper-vs-measured records.
+// See DESIGN.md §4 for the experiment index and docs/EXPERIMENTS.md for
+// the catalog of every registered experiment with its knobs and the
+// paper claim it reproduces.
 package main
 
 import (
@@ -35,6 +36,10 @@ func main() {
 		dispatch  = flag.String("dispatch", "", "override the cluster dispatch policy: rr, jsq, load, blind-load")
 		signalIv  = flag.Duration("signal-interval", 0, "staleness bound of the dispatcher's engine-state snapshots (0 = exact state)")
 		admit     = flag.String("admission", "", "override the cluster admission policy: none, queue-cap[:N], slo")
+		rebal     = flag.String("rebalance", "", "override the cluster migration policy: none, steal, shed")
+		rebalIv   = flag.Duration("rebalance-interval", 0, "minimum virtual time between rebalance rounds (0 = migration off)")
+		migCost   = flag.Duration("migration-cost", 0, "per-request migration latency penalty in reference units")
+		migBudg   = flag.Int("migration-budget", 0, "max total migrations per run (0 = once-per-request rule only)")
 		outDir    = flag.String("out", "", "also write each experiment's output to <dir>/<id>.txt")
 		benchJSON = flag.Bool("json", false,
 			"run the hot-path micro-benchmarks and write BENCH_<date>.json (to -out dir, or cwd)")
@@ -109,6 +114,25 @@ func main() {
 	if *admit != "" {
 		opts.Admission = *admit
 	}
+	if *rebal != "" {
+		opts.Rebalance = *rebal
+	}
+	// Half-configured migration would silently never run (interval 0 =
+	// migration off; policy "none"/unset ignores every other knob):
+	// refuse in both directions rather than regenerate artefacts that
+	// misleadingly look rebalanced.
+	migrationOff := *rebal == "" || *rebal == "none"
+	if !migrationOff && *rebalIv <= 0 {
+		fmt.Fprintf(os.Stderr, "-rebalance %s needs a positive -rebalance-interval (0 disables migration)\n", *rebal)
+		os.Exit(2)
+	}
+	if migrationOff && (*rebalIv > 0 || *migCost > 0 || *migBudg > 0) {
+		fmt.Fprintln(os.Stderr, "-rebalance-interval/-migration-cost/-migration-budget need -rebalance steal or shed")
+		os.Exit(2)
+	}
+	opts.RebalanceInterval = *rebalIv
+	opts.MigrationCost = *migCost
+	opts.MigrationBudget = *migBudg
 
 	ids := []string{*expID}
 	switch *expID {

@@ -121,6 +121,27 @@ func runMicroBenchmarks() ([]BenchRecord, error) {
 				}
 			}
 		}},
+		{"ClusterSteal", func(b *testing.B) {
+			// The migration hot path: stale signals + work stealing on
+			// top of the ClusterDysta configuration, covered by the CI
+			// bench-regression gate like every other Cluster* entry.
+			load := cluster.SparsityAwareLoad(lut, est)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				d := cluster.NewLeastLoad("load", load)
+				if _, err := cluster.Run(func(int) sched.Scheduler { return core.NewDefault(lut) },
+					reqs, cluster.Config{
+						Engines:           4,
+						Dispatch:          d,
+						SignalInterval:    20 * time.Millisecond,
+						Rebalance:         cluster.Steal{Load: load},
+						RebalanceInterval: time.Millisecond,
+						MigrationCost:     200 * time.Microsecond,
+					}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
 		{"PredictorStep", func(b *testing.B) {
 			st := lut.MustLookup(trace.Key{Model: "bert", Pattern: sparsity.Dense})
 			p := core.NewPredictor(core.DefaultConfig(), st)

@@ -37,6 +37,10 @@ func main() {
 		dispatch = flag.String("dispatch", "rr", "cluster dispatch policy: rr, jsq, load, blind-load")
 		signalIv = flag.Duration("signal-interval", 0, "staleness bound of the dispatcher's engine-state snapshots (0 = exact state)")
 		admit    = flag.String("admission", "none", "cluster admission policy: none, queue-cap[:N], slo")
+		rebal    = flag.String("rebalance", "none", "cluster migration policy: none, steal (idle engines pull), shed (overloaded engines push)")
+		rebalIv  = flag.Duration("rebalance-interval", 0, "minimum virtual time between rebalance rounds (0 = migration off)")
+		migCost  = flag.Duration("migration-cost", 0, "per-request migration latency penalty in reference units")
+		migBudg  = flag.Int("migration-budget", 0, "max total migrations per run (0 = once-per-request rule only)")
 		eta      = flag.Float64("eta", core.DefaultConfig().Eta, "Dysta eta (dynamic slack weight)")
 		beta     = flag.Float64("beta", core.DefaultConfig().Beta, "Dysta beta (static slack weight)")
 		dumpSpec = flag.Bool("dump-spec", false, "print the selected scenario as a JSON spec and exit")
@@ -85,17 +89,34 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	// Half-configured migration would silently never run (interval 0 =
+	// migration off, the library's bit-identity anchor; policy "none"
+	// ignores every other knob): refuse in both directions rather than
+	// report results that misleadingly look rebalanced.
+	migrationOff := *rebal == "" || *rebal == "none"
+	if !migrationOff && *rebalIv <= 0 {
+		fmt.Fprintf(os.Stderr, "-rebalance %s needs a positive -rebalance-interval (0 disables migration)\n", *rebal)
+		os.Exit(2)
+	}
+	if migrationOff && (*rebalIv > 0 || *migCost > 0 || *migBudg > 0) {
+		fmt.Fprintln(os.Stderr, "-rebalance-interval/-migration-cost/-migration-budget need -rebalance steal or shed")
+		os.Exit(2)
+	}
 	opts := exp.Options{
-		Seeds:          *seeds,
-		Requests:       *requests,
-		ProfileSamples: *profileN,
-		EvalSamples:    *evalN,
-		Workers:        *workers,
-		Engines:        nEngines,
-		EngineSpecs:    engineSpecs,
-		Dispatch:       *dispatch,
-		SignalInterval: *signalIv,
-		Admission:      *admit,
+		Seeds:             *seeds,
+		Requests:          *requests,
+		ProfileSamples:    *profileN,
+		EvalSamples:       *evalN,
+		Workers:           *workers,
+		Engines:           nEngines,
+		EngineSpecs:       engineSpecs,
+		Dispatch:          *dispatch,
+		SignalInterval:    *signalIv,
+		Admission:         *admit,
+		Rebalance:         *rebal,
+		RebalanceInterval: *rebalIv,
+		MigrationCost:     *migCost,
+		MigrationBudget:   *migBudg,
 	}
 	p, err := exp.NewPipeline(sc, opts, 7)
 	if err != nil {
@@ -136,21 +157,33 @@ func main() {
 	}
 
 	clustered := nEngines > 1 || len(engineSpecs) > 0
+	migrating := *rebal != "none" && *rebal != "" && *rebalIv > 0
 	fmt.Printf("workload %s  rate %.1f req/s  M_slo %.0fx  %d requests x %d seeds",
 		sc.Name, *rate, *mslo, *requests, *seeds)
 	if clustered {
 		fmt.Printf("  engines %s (%s dispatch, %v signal interval, %s admission)",
 			*engines, *dispatch, *signalIv, *admit)
 	}
+	if migrating {
+		fmt.Printf("  rebalance %s every %v (cost %v)", *rebal, *rebalIv, *migCost)
+	}
 	fmt.Print("\n\n")
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "scheduler\tANTT\tviol%\tthroughput\tgoodput\trejected\tmean lat\tp99 lat\tpreemptions")
+	header := "scheduler\tANTT\tviol%\tthroughput\tgoodput\trejected\tmean lat\tp99 lat\tpreemptions"
+	if migrating {
+		header += "\tmigrations\twin/loss"
+	}
+	fmt.Fprintln(tw, header)
 	for _, s := range specs {
 		r := results[s.Name]
-		fmt.Fprintf(tw, "%s\t%.2f\t%.1f\t%.2f\t%.2f\t%d\t%v\t%v\t%d\n",
+		fmt.Fprintf(tw, "%s\t%.2f\t%.1f\t%.2f\t%.2f\t%d\t%v\t%v\t%d",
 			r.Scheduler, r.ANTT, 100*r.ViolationRate, r.Throughput, r.Goodput, r.Rejected,
 			r.MeanLatency.Round(time.Microsecond), r.P99Latency.Round(time.Microsecond),
 			r.Preemptions)
+		if migrating {
+			fmt.Fprintf(tw, "\t%d\t%d/%d", r.Migrations, r.MigrationWins, r.MigrationLosses)
+		}
+		fmt.Fprintln(tw)
 	}
 	tw.Flush()
 

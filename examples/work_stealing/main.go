@@ -1,0 +1,149 @@
+// Work stealing on a heterogeneous node whose router has gone stale:
+// the walkthrough for the migration subsystem.
+//
+// The setup deliberately stacks the deck against the dispatch layer — a
+// lopsided cluster (one double-speed engine carrying half the capacity,
+// two half-speed stragglers) behind a sparsity-aware router whose view
+// of engine state lags by a full 100ms. Every arrival inside a stale
+// window chases the snapshot, whole bursts pile onto whichever engine
+// looked emptiest, and before migration a misrouted request was simply
+// stuck. Three acts:
+//
+//  1. The damage: exact vs 100ms-stale signals, no migration — the
+//     violation rate multiplies while the hardware sits half idle.
+//
+//  2. The repair: work stealing (idle engines pull from the longest
+//     normalized backlog) and predicted-SLO shedding at several
+//     rebalance intervals, with win/loss accounting showing whether
+//     each moved request's 200µs transfer penalty paid off.
+//
+//  3. The price of moving: sweeping the migration cost until stealing
+//     stops being worth it — rebalancing decisions must weigh
+//     data-dependent transfer cost, not just queue lengths.
+//
+//     go run ./examples/work_stealing
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"sparsedysta/internal/cluster"
+	"sparsedysta/internal/core"
+	"sparsedysta/internal/sched"
+	"sparsedysta/internal/trace"
+	"sparsedysta/internal/workload"
+)
+
+func main() {
+	scenario := workload.MultiAttNN()
+	profiling, evaluation, err := workload.BuildStores(scenario, 60, 250, 13)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lut, err := trace.NewStatsSet(profiling)
+	if err != nil {
+		log.Fatal(err)
+	}
+	est := sched.NewEstimator(lut)
+	load := cluster.SparsityAwareLoad(lut, est)
+
+	// One double-speed engine, one reference, two half-speed: total
+	// capacity 4 reference engines, but capacity concentrated enough
+	// that misrouting one burst hurts.
+	specs := []cluster.EngineSpec{
+		{LatencyScale: 0.5}, {LatencyScale: 1}, {LatencyScale: 2}, {LatencyScale: 2},
+	}
+	const stale = 100 * time.Millisecond
+	mean, err := workload.MeanIsolated(scenario, evaluation)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rate := 4 * 0.9 / mean.Seconds()
+	requests, err := workload.Generate(scenario, evaluation, workload.GenConfig{
+		Requests: 2000, RatePerSec: rate, SLOMultiplier: 10, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("hetero node: 1 double-speed + 1 reference + 2 half-speed engines (capacity 4)\n")
+	fmt.Printf("%.0f req/s (~90%% utilization), router snapshots %v stale\n\n", rate, stale)
+
+	newDysta := func(int) sched.Scheduler { return core.NewDefault(lut) }
+	run := func(cfg cluster.Config) cluster.Result {
+		cfg.Specs = specs
+		cfg.Dispatch = cluster.NewLeastLoad("sparse-load", load)
+		res, err := cluster.Run(newDysta, requests, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	// Act 1: what staleness costs without migration.
+	fmt.Println("1) the damage: stale signals, nobody moves:")
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "signals\tviol%\tANTT\timbalance")
+	exact := run(cluster.Config{})
+	stuck := run(cluster.Config{SignalInterval: stale})
+	for _, row := range []struct {
+		name string
+		res  cluster.Result
+	}{{"exact", exact}, {stale.String() + " stale", stuck}} {
+		fmt.Fprintf(tw, "%s\t%.1f\t%.2f\t%.3f\n",
+			row.name, 100*row.res.ViolationRate, row.res.ANTT, row.res.Imbalance)
+	}
+	tw.Flush()
+	gap := stuck.ViolationRate - exact.ViolationRate
+
+	// Act 2: migration policies against the same stale router.
+	fmt.Println("\n2) the repair: migration under stale signals (cost 200µs):")
+	tw = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "rebalance\tinterval\tmigrations\twin/loss\tviol%\tgap recovered")
+	for _, p := range []struct {
+		policy   cluster.RebalancePolicy
+		interval time.Duration
+	}{
+		{cluster.Steal{Load: load}, 500 * time.Microsecond},
+		{cluster.Steal{Load: load}, 2 * time.Millisecond},
+		{cluster.Steal{Load: load}, 10 * time.Millisecond},
+		{cluster.Shed{Load: load}, 2 * time.Millisecond},
+	} {
+		res := run(cluster.Config{
+			SignalInterval:    stale,
+			Rebalance:         p.policy,
+			RebalanceInterval: p.interval,
+			MigrationCost:     200 * time.Microsecond,
+		})
+		recovered := 0.0
+		if gap > 0 {
+			recovered = 100 * (stuck.ViolationRate - res.ViolationRate) / gap
+		}
+		fmt.Fprintf(tw, "%s\t%v\t%d\t%d/%d\t%.1f\t%.0f%%\n",
+			res.Rebalance, p.interval, res.Migrations,
+			res.MigrationWins, res.MigrationLosses,
+			100*res.ViolationRate, recovered)
+	}
+	tw.Flush()
+
+	// Act 3: how expensive may a move get before stealing stops paying?
+	fmt.Println("\n3) the price of moving: steal every 2ms at rising migration cost:")
+	tw = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "cost\tmigrations\twin/loss\tviol%")
+	for _, cost := range []time.Duration{
+		0, 200 * time.Microsecond, 2 * time.Millisecond, 20 * time.Millisecond,
+	} {
+		res := run(cluster.Config{
+			SignalInterval:    stale,
+			Rebalance:         cluster.Steal{Load: load},
+			RebalanceInterval: 2 * time.Millisecond,
+			MigrationCost:     cost,
+		})
+		fmt.Fprintf(tw, "%v\t%d\t%d/%d\t%.1f\n",
+			cost, res.Migrations, res.MigrationWins, res.MigrationLosses,
+			100*res.ViolationRate)
+	}
+	tw.Flush()
+}

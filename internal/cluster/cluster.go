@@ -1,27 +1,3 @@
-// Package cluster simulates a multi-accelerator serving node: N steppable
-// scheduling engines (internal/sched.Engine) behind a dispatch layer that
-// routes each arriving request to one engine. It extends the paper's
-// single-accelerator evaluation toward the sharded serving scenario of the
-// roadmap — the interesting scheduling question at scale is which device
-// gets a request, informed by sparsity-aware load estimates, before the
-// per-device scheduler ever sees it.
-//
-// The dispatch layer models three realities of a production router that
-// the idealized fan-out ignored: engines can be heterogeneous (per-engine
-// EngineSpec with a latency scale), the router's view of engine state can
-// be stale (SignalBoard snapshots refreshed every SignalInterval), and
-// the router can refuse work (Admission policies shed requests before
-// injection, counted in Result.Rejected).
-//
-// Determinism contract: engines' events interleave on one virtual clock in
-// (event time, engine index) order, every stochastic input derives from
-// the request stream, dispatchers and admission policies are deterministic
-// functions of the signals, and signal refreshes are tied to arrival
-// instants — so a cluster run is a pure function of (schedulers, stream,
-// config). A 1-engine cluster reproduces sched.Run bit-identically under
-// every dispatcher, and SignalInterval 0 + homogeneous specs + no
-// admission reproduce the idealized exact-state router bit-identically;
-// the equivalence tests enforce both.
 package cluster
 
 import (
@@ -64,6 +40,23 @@ type Config struct {
 	// refresh. 0 refreshes on every arrival — the idealized exact-state
 	// router, bit-identical to the pre-SignalBoard dispatch layer.
 	SignalInterval time.Duration
+	// Rebalance is the migration policy moving queued-but-never-started
+	// requests between engines (work stealing / shedding). Nil or
+	// NoRebalance disables migration.
+	Rebalance RebalancePolicy
+	// RebalanceInterval is the minimum virtual time between rebalance
+	// rounds. 0 disables migration entirely — bit-identical to a run
+	// without a migration subsystem, whatever Rebalance is set to.
+	RebalanceInterval time.Duration
+	// MigrationCost is the per-request latency penalty of a migration,
+	// in reference-hardware units, charged as a visibility delay: a
+	// moved request cannot start on its new engine until the rebalance
+	// instant plus this cost (see DESIGN.md §9 for why reference units).
+	MigrationCost time.Duration
+	// MigrationBudget caps total migrations per run. 0 means no cap
+	// beyond the built-in once-per-request rule (which alone bounds
+	// migrations by the stream length and makes thrashing impossible).
+	MigrationBudget int
 	// Sched tunes each engine of a homogeneous cluster (ignored for
 	// engines covered by Specs).
 	Sched sched.Options
@@ -108,9 +101,12 @@ func (cfg Config) engineSpecs() ([]EngineSpec, error) {
 // shedding comparable to serving everyone badly.
 type Result struct {
 	sched.Result
-	// Dispatch, Admission and Engines echo the configuration.
+	// Dispatch, Admission, Rebalance and Engines echo the effective
+	// configuration (Rebalance is "none" when migration is disabled,
+	// whether by policy or by a zero interval).
 	Dispatch  string
 	Admission string
+	Rebalance string
 	Engines   int
 	// PerEngine holds each engine's own Result, in engine order.
 	PerEngine []sched.Result
@@ -160,17 +156,35 @@ func Run(newSched func(engine int) sched.Scheduler, reqs []*workload.Request, cf
 		engines[i] = sched.NewEngine(newSched(i), engOpts)
 	}
 
+	// Migration is active only with a real policy and a positive
+	// interval; otherwise the run takes exactly the pre-migration code
+	// path (the bit-identity anchor the equivalence tests enforce).
+	migrating := cfg.Rebalance != nil && cfg.Rebalance.Name() != "none" && cfg.RebalanceInterval > 0
+
 	// The board maintains the Backlog signal with the first load
-	// estimate the run's policies provide (dispatcher first: routing and
-	// admission share one metrics pipeline).
+	// estimate the run's policies provide (dispatcher first: routing,
+	// admission and rebalancing share one metrics pipeline). An inactive
+	// rebalance policy contributes nothing — its load estimate feeding
+	// the Backlog signal would change admission/dispatch behavior and
+	// break the interval-0 bit-identity contract.
+	providers := []any{dispatch, admission}
+	if migrating {
+		providers = append(providers, cfg.Rebalance)
+	}
 	var load func(*sched.Task) time.Duration
-	for _, p := range []any{dispatch, admission} {
+	for _, p := range providers {
 		if lp, ok := p.(loadProvider); ok && lp.LoadFunc() != nil {
 			load = lp.LoadFunc()
 			break
 		}
 	}
 	board := NewSignalBoard(engines, cfg.SignalInterval, load)
+
+	var rb *Rebalancer
+	if migrating {
+		rb = newRebalancer(cfg.Rebalance, engines, load,
+			cfg.RebalanceInterval, cfg.MigrationCost, cfg.MigrationBudget)
+	}
 
 	// advance commits every engine event strictly before `until`, in
 	// (event time, engine index) order; drain commits every remaining
@@ -189,28 +203,43 @@ func Run(newSched func(engine int) sched.Scheduler, reqs []*workload.Request, cf
 		}
 		return best
 	}
-	advance := func(until time.Duration) error {
+	// run commits engine events (all of them, or only those strictly
+	// before `until`), interleaving rebalance rounds when migration is
+	// active: a round fires just before committing an event whose
+	// instant is at least one interval past the last round, so rounds
+	// land on instants the simulation already visits (arrivals and
+	// engine events), the control plane runs before the data plane at
+	// equal instants, and the whole schedule stays a pure function of
+	// the run. Without the per-event check, rounds could fire at most
+	// once per arrival and every RebalanceInterval below the mean
+	// inter-arrival gap would behave identically; with it, the drain
+	// tail is rebalanced too — the phase where work stealing matters
+	// most, since the tail of a misrouted queue is exactly what idle
+	// engines can absorb. Migration can only delay the earliest event
+	// (adoptions become visible at instant + cost), never rewind it.
+	run := func(until time.Duration, bounded bool) error {
 		for {
-			best := next(until, true)
+			best := next(until, bounded)
 			if best < 0 {
 				return nil
+			}
+			if rb != nil {
+				if at, _ := engines[best].NextEvent(); rb.due(at) {
+					if err := rb.rebalance(at); err != nil {
+						return err
+					}
+					if best = next(until, bounded); best < 0 {
+						return nil
+					}
+				}
 			}
 			if _, err := engines[best].Step(); err != nil {
 				return err
 			}
 		}
 	}
-	drain := func() error {
-		for {
-			best := next(0, false)
-			if best < 0 {
-				return nil
-			}
-			if _, err := engines[best].Step(); err != nil {
-				return err
-			}
-		}
-	}
+	advance := func(until time.Duration) error { return run(until, true) }
+	drain := func() error { return run(0, false) }
 
 	rejected := 0
 	sorted := append([]*workload.Request(nil), reqs...)
@@ -218,6 +247,11 @@ func Run(newSched func(engine int) sched.Scheduler, reqs []*workload.Request, cf
 	for _, r := range sorted {
 		if err := advance(r.Arrival); err != nil {
 			return Result{}, err
+		}
+		if rb != nil && rb.due(r.Arrival) {
+			if err := rb.rebalance(r.Arrival); err != nil {
+				return Result{}, err
+			}
 		}
 		sig := board.Observe(r.Arrival)
 		if !admission.Admit(sig, r, r.Arrival) {
@@ -240,6 +274,7 @@ func Run(newSched func(engine int) sched.Scheduler, reqs []*workload.Request, cf
 	res := Result{
 		Dispatch:  dispatch.Name(),
 		Admission: admission.Name(),
+		Rebalance: "none",
 		Engines:   len(engines),
 		PerEngine: make([]sched.Result, len(engines)),
 	}
@@ -250,6 +285,23 @@ func Run(newSched func(engine int) sched.Scheduler, reqs []*workload.Request, cf
 	}
 	res.Result = aggregate(res.PerEngine)
 	res.Result.Rejected = rejected
+	if rb != nil {
+		// Win/loss accounting over the union of outcomes (recorded
+		// unconditionally above): did each moved request ultimately make
+		// its SLO? Read before the RecordTasks stripping below.
+		res.Rebalance = rb.policy.Name()
+		res.Migrations = rb.Migrations()
+		for _, o := range res.Result.Tasks {
+			if !rb.Moved(o.ID) {
+				continue
+			}
+			if o.Violated {
+				res.MigrationLosses++
+			} else {
+				res.MigrationWins++
+			}
+		}
+	}
 	// Strip the outcomes the caller never asked for: engines record them
 	// unconditionally (the aggregation above needs them), but the caller's
 	// request lives in the per-spec options (which mirror cfg.Sched on the

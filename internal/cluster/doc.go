@@ -1,0 +1,45 @@
+// Package cluster simulates a multi-accelerator serving node: N steppable
+// scheduling engines (internal/sched.Engine) behind a dispatch layer that
+// routes each arriving request to one engine. It extends the paper's
+// single-accelerator evaluation toward the sharded serving scenario of the
+// roadmap — the interesting scheduling question at scale is which device
+// gets a request, informed by sparsity-aware load estimates, before the
+// per-device scheduler ever sees it.
+//
+// The layer models four realities of a production router that the
+// idealized fan-out ignored: engines can be heterogeneous (per-engine
+// EngineSpec with a latency scale), the router's view of engine state can
+// be stale (SignalBoard snapshots refreshed every SignalInterval), the
+// router can refuse work (Admission policies shed requests before
+// injection, counted in Result.Rejected), and — since PR 4 — a request
+// routed to the wrong engine can move once (the Rebalancer migrates
+// queued-but-never-started requests under a RebalancePolicy, counted in
+// Result.Migrations with win/loss accounting).
+//
+// # Determinism contracts
+//
+//   - Virtual-clock ordering: engines' events interleave on one clock in
+//     (event time, engine index) order, and every stochastic input
+//     derives from the request stream.
+//   - Snapshot refresh rules: the SignalBoard refreshes only when an
+//     arrival is at least SignalInterval past the last refresh, so
+//     snapshot instants are a pure function of the stream — no wall
+//     clock, no timer goroutines. Dispatchers and admission policies are
+//     deterministic functions of the signals.
+//   - Rebalance instants follow the same discipline: rounds fire at
+//     instants the simulation already visits (arrivals and engine
+//     events), gated by RebalanceInterval, and the control plane runs
+//     before the data plane at equal instants. Migration
+//     decisions read live engine state (an engine always knows its own
+//     queue — the information advantage that lets stealing repair stale
+//     dispatch), but remain deterministic functions of that state.
+//   - Neutral-knob bit-identity: a 1-engine cluster reproduces sched.Run
+//     bit-identically under every dispatcher; SignalInterval 0 +
+//     homogeneous specs + no admission reproduce the idealized
+//     exact-state router; Rebalance nil/none or RebalanceInterval 0
+//     reproduce the pre-migration cluster. The equivalence tests in this
+//     package and internal/exp enforce all three.
+//
+// See DESIGN.md §8 (cluster architecture) and §9 (migration
+// architecture) for the full design rationale.
+package cluster

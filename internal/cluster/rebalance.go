@@ -1,0 +1,344 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"sparsedysta/internal/sched"
+)
+
+// This file is the migration subsystem: a Rebalancer that, at
+// interval-gated instants of virtual time, moves queued-but-never-started
+// requests between engines under a pluggable RebalancePolicy. It is the
+// first feature that mutates engine queues from outside the engine, so it
+// leans entirely on the sched.Engine extraction contract
+// (Extract/Adopt/Migratable): the engine guarantees scheduler-state
+// integrity; this layer decides who moves where, charges the migration
+// cost, and makes thrashing impossible (once-per-request plus an optional
+// total budget).
+//
+// Migration decisions read LIVE engine state, deliberately unlike
+// dispatch: the router's admission and routing run on the SignalBoard's
+// possibly-stale snapshots (a centralized metrics pipeline), while
+// rebalancing models peer-to-peer work stealing — an engine always knows
+// its own queue exactly, which is precisely why stealing can recover the
+// damage stale dispatch signals cause. What the rebalancer shares with
+// the board is its timing discipline: rebalance instants derive from the
+// request stream and the interval alone (no wall clock), so a migrating
+// run stays a pure function of (schedulers, stream, config).
+
+// Candidate is one migratable request as a policy sees it.
+type Candidate struct {
+	// Task is the queued-but-never-started request (read-only to
+	// policies; the Rebalancer performs the actual move).
+	Task *sched.Task
+	// Est is the task's estimated service demand in reference-hardware
+	// units under the run's load estimator (a uniform placeholder when
+	// the run has none), the data-dependent cost a rebalancing decision
+	// must weigh — two requests to the same model can differ ~40% in
+	// effective work across sparsity patterns.
+	Est time.Duration
+}
+
+// EngineView is one engine's live state at a rebalance instant.
+type EngineView struct {
+	// Engine is the index into the cluster's engine slice.
+	Engine int
+	// LatencyScale is the engine's static capacity spec (1 = reference).
+	LatencyScale float64
+	// Outstanding is the live injected-but-uncompleted request count.
+	Outstanding int
+	// NormBacklog is the live capacity-normalized backlog: the summed
+	// Est of every outstanding request, scaled by LatencyScale — the
+	// engine's predicted drain time as a float64 of duration units.
+	NormBacklog float64
+	// Eligible lists the engine's migratable requests in ascending
+	// task-ID order, excluding requests that already migrated once.
+	Eligible []Candidate
+}
+
+// Move is one proposed migration: the request with task ID moves from
+// engines[From] to engines[To].
+type Move struct {
+	ID       int
+	From, To int
+}
+
+// RebalancePolicy proposes migrations. Plan is called at each rebalance
+// instant with the live per-engine views; it must be a deterministic
+// function of (views, now, cost) and must only reference eligible task
+// IDs. The Rebalancer executes the plan in order, dropping moves beyond
+// the migration budget, so policies should emit their most valuable
+// moves first.
+type RebalancePolicy interface {
+	// Name identifies the policy in results.
+	Name() string
+	// Plan proposes migrations at virtual time now; cost is the
+	// per-request migration latency penalty the Rebalancer will charge.
+	Plan(views []EngineView, now, cost time.Duration) []Move
+}
+
+// NoRebalance is the identity policy: no request ever moves. A cluster
+// configured with it (or with no policy, or interval 0) is bit-identical
+// to one without a migration subsystem at all.
+type NoRebalance struct{}
+
+// Name implements RebalancePolicy.
+func (NoRebalance) Name() string { return "none" }
+
+// Plan implements RebalancePolicy.
+func (NoRebalance) Plan([]EngineView, time.Duration, time.Duration) []Move { return nil }
+
+// Steal is work stealing: idle engines pull from the engine with the
+// longest normalized backlog. "Idle" follows the classic work-stealing
+// definition — nothing *waiting* (at most the currently running request
+// outstanding), the moment a worker's own deque runs dry — not "fully
+// drained", which at serving load almost never happens and would leave
+// the thief starved for a full round trip. Each thief takes up to half
+// of the victim's eligible queue, newest arrivals first: the oldest
+// queued request is about to run on the victim and is closest to its
+// deadline, so it can least afford the transfer penalty, while the
+// newest would wait the longest and carries the most slack across the
+// move.
+type Steal struct {
+	// Load estimates a queued task's remaining work in reference units
+	// (typically SparsityAwareLoad); it backs the views' NormBacklog and
+	// Candidate.Est through the loadProvider chain. Nil falls back to a
+	// queue-length proxy.
+	Load func(*sched.Task) time.Duration
+}
+
+// Name implements RebalancePolicy.
+func (Steal) Name() string { return "steal" }
+
+// LoadFunc exposes the estimate to the SignalBoard and Rebalancer
+// (loadProvider); the dispatcher's own estimate, if any, takes precedence
+// so the whole run shares one metrics pipeline.
+func (s Steal) LoadFunc() func(*sched.Task) time.Duration { return s.Load }
+
+// Plan implements RebalancePolicy: for each idle engine in index order,
+// raid the engine with the currently longest normalized backlog. Backlogs
+// are adjusted as moves accumulate so two idle thieves in one round never
+// both raid the same victim blindly. A victim must have work actually
+// waiting behind its running request (Outstanding >= 2) and a longer
+// normalized backlog than the thief — without that benefit check two
+// near-idle engines would swap their single queued tasks, delaying both
+// by the migration cost for zero gain and burning their once-ever
+// migration allowance.
+func (Steal) Plan(views []EngineView, _, _ time.Duration) []Move {
+	backlog := make([]float64, len(views))
+	remaining := make([][]Candidate, len(views))
+	for i, v := range views {
+		backlog[i] = v.NormBacklog
+		remaining[i] = append([]Candidate(nil), v.Eligible...)
+	}
+	var moves []Move
+	for thief := range views {
+		if views[thief].Outstanding > 1 {
+			continue
+		}
+		victim := -1
+		for i := range views {
+			if i == thief || len(remaining[i]) == 0 ||
+				views[i].Outstanding < 2 || backlog[i] <= backlog[thief] {
+				continue
+			}
+			if victim < 0 || backlog[i] > backlog[victim] {
+				victim = i
+			}
+		}
+		if victim < 0 {
+			continue
+		}
+		// Take up to half the victim's eligible queue, newest arrival
+		// (then highest ID) first, stopping once the imbalance the raid
+		// was fixing is gone.
+		take := (len(remaining[victim]) + 1) / 2
+		for k := 0; k < take && backlog[victim] > backlog[thief]; k++ {
+			best := 0
+			for i, c := range remaining[victim] {
+				b := remaining[victim][best]
+				if c.Task.Arrival > b.Task.Arrival ||
+					(c.Task.Arrival == b.Task.Arrival && c.Task.ID > b.Task.ID) {
+					best = i
+				}
+			}
+			c := remaining[victim][best]
+			remaining[victim] = append(remaining[victim][:best], remaining[victim][best+1:]...)
+			moves = append(moves, Move{ID: c.Task.ID, From: victim, To: thief})
+			shift := float64(c.Est)
+			backlog[victim] -= shift * views[victim].LatencyScale
+			backlog[thief] += shift * views[thief].LatencyScale
+		}
+	}
+	return moves
+}
+
+// Shed is predicted-SLO shedding: an engine whose backlog pushes a queued
+// request past its deadline hands that request to the engine predicting
+// the earliest completion for it — but only when the receiving engine
+// (after the migration cost) is predicted to actually save it. Unlike
+// Steal it triggers before anyone is idle, and unlike a threshold on
+// queue length it is per-request and data-dependent: the same backlog
+// dooms a tight-SLO request while a slack one rides it out.
+type Shed struct {
+	// Load estimates a queued task's remaining work in reference units
+	// (see Steal.Load).
+	Load func(*sched.Task) time.Duration
+}
+
+// Name implements RebalancePolicy.
+func (Shed) Name() string { return "shed" }
+
+// LoadFunc exposes the estimate to the SignalBoard and Rebalancer
+// (loadProvider).
+func (s Shed) LoadFunc() func(*sched.Task) time.Duration { return s.Load }
+
+// Plan implements RebalancePolicy: engines in index order, candidates in
+// ascending task-ID order; drain-time predictions are adjusted as moves
+// accumulate.
+func (Shed) Plan(views []EngineView, now, cost time.Duration) []Move {
+	drain := make([]float64, len(views))
+	for i, v := range views {
+		drain[i] = v.NormBacklog
+	}
+	var moves []Move
+	for i, v := range views {
+		for _, c := range v.Eligible {
+			// Predicted completion here: behind the engine's whole
+			// normalized backlog (which includes this request).
+			here := float64(now) + drain[i]
+			if here <= float64(c.Task.Deadline()) {
+				continue
+			}
+			service := float64(c.Est)
+			best, bestDone := -1, 0.0
+			for j, w := range views {
+				if j == i {
+					continue
+				}
+				done := float64(now+cost) + drain[j] + service*w.LatencyScale
+				if best < 0 || done < bestDone {
+					best, bestDone = j, done
+				}
+			}
+			if best < 0 || bestDone > float64(c.Task.Deadline()) {
+				continue // nobody is predicted to save it: keep it local
+			}
+			moves = append(moves, Move{ID: c.Task.ID, From: i, To: best})
+			drain[i] -= service * v.LatencyScale
+			drain[best] += service * views[best].LatencyScale
+		}
+	}
+	return moves
+}
+
+// Rebalancer executes a RebalancePolicy over the cluster's engines. It is
+// created by Run when migration is enabled; all state is per-run.
+type Rebalancer struct {
+	policy   RebalancePolicy
+	engines  []*sched.Engine
+	load     func(*sched.Task) time.Duration
+	interval time.Duration
+	cost     time.Duration
+	budget   int
+	last     time.Duration
+	moved    map[int]bool
+	count    int
+}
+
+// newRebalancer wires the policy to the engines. load is the shared
+// per-task estimate of the run's metrics pipeline (nil = queue-length
+// proxy); interval must be positive (interval 0 means "no rebalancer" and
+// is handled by Run, not here).
+func newRebalancer(policy RebalancePolicy, engines []*sched.Engine,
+	load func(*sched.Task) time.Duration, interval, cost time.Duration, budget int) *Rebalancer {
+	if load == nil {
+		// Uniform placeholder so NormBacklog degrades to a capacity-
+		// weighted queue length instead of an all-zero signal.
+		load = func(*sched.Task) time.Duration { return time.Millisecond }
+	}
+	return &Rebalancer{
+		policy:   policy,
+		engines:  engines,
+		load:     load,
+		interval: interval,
+		cost:     cost,
+		budget:   budget,
+		moved:    map[int]bool{},
+	}
+}
+
+// due reports whether a rebalance instant has been reached, following the
+// SignalBoard's refresh discipline: at least one interval of virtual time
+// past the last rebalance. An exhausted migration budget ends rounds for
+// good — building views and planning moves that the budget would
+// immediately discard is pure waste.
+func (rb *Rebalancer) due(now time.Duration) bool {
+	if rb.budget > 0 && rb.count >= rb.budget {
+		return false
+	}
+	return now-rb.last >= rb.interval
+}
+
+// Migrations returns the number of executed migrations so far.
+func (rb *Rebalancer) Migrations() int { return rb.count }
+
+// Moved reports whether the request with the given task ID has migrated.
+func (rb *Rebalancer) Moved(id int) bool { return rb.moved[id] }
+
+// views snapshots live engine state for the policy, excluding requests
+// that already migrated (once per request, ever — the invariant that
+// makes thrashing structurally impossible: a request's total migration
+// delay is bounded by one cost, and ping-pong cycles cannot form).
+func (rb *Rebalancer) views() []EngineView {
+	views := make([]EngineView, len(rb.engines))
+	for i, e := range rb.engines {
+		v := EngineView{
+			Engine:       i,
+			LatencyScale: e.LatencyScale(),
+			Outstanding:  e.Outstanding(),
+			NormBacklog:  float64(e.EstimatedBacklog(rb.load)) * e.LatencyScale(),
+		}
+		for _, t := range e.Migratable() {
+			if rb.moved[t.ID] {
+				continue
+			}
+			v.Eligible = append(v.Eligible, Candidate{Task: t, Est: rb.load(t)})
+		}
+		views[i] = v
+	}
+	return views
+}
+
+// rebalance runs one policy round at virtual time now: plan on live
+// views, then execute the plan prefix the budget allows, charging each
+// moved request the migration cost as a visibility delay on the adopting
+// engine. A malformed plan (unknown ID, out-of-range engine, self-move)
+// fails the run — policies are deterministic functions and a bad move is
+// a bug, not a runtime condition.
+func (rb *Rebalancer) rebalance(now time.Duration) error {
+	rb.last = now
+	moves := rb.policy.Plan(rb.views(), now, rb.cost)
+	for _, m := range moves {
+		if rb.budget > 0 && rb.count >= rb.budget {
+			break
+		}
+		if m.From < 0 || m.From >= len(rb.engines) || m.To < 0 || m.To >= len(rb.engines) || m.From == m.To {
+			return fmt.Errorf("cluster: policy %s proposed invalid move %+v", rb.policy.Name(), m)
+		}
+		if rb.moved[m.ID] {
+			return fmt.Errorf("cluster: policy %s re-moved request %d", rb.policy.Name(), m.ID)
+		}
+		t, err := rb.engines[m.From].Extract(m.ID)
+		if err != nil {
+			return fmt.Errorf("cluster: policy %s: %w", rb.policy.Name(), err)
+		}
+		if err := rb.engines[m.To].Adopt(t, now+rb.cost); err != nil {
+			return fmt.Errorf("cluster: policy %s: %w", rb.policy.Name(), err)
+		}
+		rb.moved[m.ID] = true
+		rb.count++
+	}
+	return nil
+}

@@ -112,6 +112,13 @@ func (d *Dysta) OnLayerComplete(t *sched.Task, layer int, monitored float64, _ t
 	}
 }
 
+// OnExtract implements sched.TaskExtractor: all of Dysta's per-request
+// state (static score, predictor) lives in the attachment, and a migrated
+// request has executed no layer, so the predictor holds no monitored
+// sparsity worth carrying — the adopting engine's OnArrival rebuilds an
+// identical fresh state from the LUT.
+func (d *Dysta) OnExtract(t *sched.Task, _ time.Duration) { t.Attachment = nil }
+
 // PickNext implements sched.Scheduler: the dynamic level (Alg. 2). Every
 // queued request is re-scored with its refined remaining time, slack and
 // preemption penalty; the minimum score runs next. With the dynamic level
@@ -202,4 +209,7 @@ func (d *Dysta) score(t *sched.Task, now time.Duration, queueLen int) float64 {
 // the FP16 operand scale of the hardware implementation).
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 
-var _ sched.IncrementalScheduler = (*Dysta)(nil)
+var (
+	_ sched.IncrementalScheduler = (*Dysta)(nil)
+	_ sched.TaskExtractor        = (*Dysta)(nil)
+)

@@ -64,6 +64,27 @@ func NewAdmission(name string, p *Pipeline) (cluster.Admission, error) {
 	return nil, fmt.Errorf("exp: unknown admission policy %q (valid: %v)", name, AdmissionPolicies)
 }
 
+// RebalancePolicies lists the migration policy names accepted by
+// Options.Rebalance (and the CLIs' -rebalance flag).
+var RebalancePolicies = []string{"none", "steal", "shed"}
+
+// NewRebalancer builds the named migration policy, wired to the
+// pipeline's sparsity-aware load estimate (the same LUT-with-fallback
+// chain the load dispatcher and SLO admission use, so routing, admission
+// and rebalancing never disagree about what a request costs). "" and
+// "none" return the inert policy.
+func NewRebalancer(name string, p *Pipeline) (cluster.RebalancePolicy, error) {
+	switch name {
+	case "", "none":
+		return cluster.NoRebalance{}, nil
+	case "steal":
+		return cluster.Steal{Load: cluster.SparsityAwareLoad(p.LUT, p.Est)}, nil
+	case "shed":
+		return cluster.Shed{Load: cluster.SparsityAwareLoad(p.LUT, p.Est)}, nil
+	}
+	return nil, fmt.Errorf("exp: unknown rebalance policy %q (valid: %v)", name, RebalancePolicies)
+}
+
 // ParseEngines parses the CLI engine syntax: either a plain count ("4",
 // a homogeneous reference-speed cluster, returned with nil specs) or a
 // comma-separated list of "NxS" terms where N engines get latency scale S

@@ -1,0 +1,172 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"sparsedysta/internal/workload"
+)
+
+// This file is the migration/work-stealing experiment: the scale-out
+// study answering whether runtime placement revision can repair the
+// damage the PR 3 studies quantified — stale dispatch signals
+// concentrating bursts (stale-signals) and heterogeneous clusters
+// punishing capacity-blind routing (hetero-scale). A misrouted request
+// used to be stuck with its engine forever; with a Rebalancer it can
+// move once, for a price.
+
+// RebalanceIntervals is the migration sweep grid: how often the
+// rebalancer may revise placement, from near-continuous up to a round
+// every couple of mean service times.
+var RebalanceIntervals = []time.Duration{
+	500 * time.Microsecond,
+	2 * time.Millisecond,
+	10 * time.Millisecond,
+}
+
+// MigrationStaleInterval is the signal staleness the experiment pits
+// migration against: the top of the stale-signals sweep grid, deep in
+// the regime where load-aware dispatch has degraded to bursty
+// concentration (every arrival in a refresh window lands on whichever
+// engine looked emptiest at the last snapshot).
+const MigrationStaleInterval = 100 * time.Millisecond
+
+// MigrationMixes is the hetero dimension of the sweep: the uniform
+// reference cluster and the lopsided mix from the hetero-scale study,
+// both with the same total capacity (4 reference engines' worth).
+var MigrationMixes = []struct {
+	Name string
+	Spec string
+}{
+	{"uniform", "4x1"},
+	{"mixed", "1x0.5,1x1,2x2"},
+}
+
+// Migration is the work-stealing experiment: Dysta behind sparsity-aware
+// least-load dispatch whose signals are MigrationStaleInterval stale,
+// across RebalanceIntervals × {steal, shed} × MigrationMixes, with the
+// exact-signal and stale-signal no-migration runs as the two anchors.
+// The question: how much of the violation-rate gap that signal staleness
+// opens (exact/none vs stale/none) does runtime migration win back?
+// Stealing reads live engine state — an engine always knows its own
+// queue — which is exactly the information advantage the stale
+// centralized router lacks, so it recovers most of the gap; shedding
+// helps less because the overload signal it acts on is itself built
+// from backlogs that keep changing under it.
+func Migration(opts Options) ([]Artifact, error) {
+	// At the per-engine knee (Fig. 15), not past it: stealing needs
+	// thieves, and a cluster pushed past saturation has no engine whose
+	// deque ever runs dry — the regime where the gap is recoverable is
+	// heavy-but-not-drowning load, which is also where a real operator
+	// runs.
+	const ratePerCapacity = 30.0
+	const capacity = 4.0
+	const cost = 200 * time.Microsecond
+
+	p, err := NewPipeline(workload.MultiAttNN(), opts, 7)
+	if err != nil {
+		return nil, err
+	}
+	dysta := dystaOnly()
+
+	tbl := &Table{
+		ID: "migration",
+		Title: fmt.Sprintf("Dysta + load dispatch at %.0f req/s: migration vs %v-stale signals",
+			ratePerCapacity*capacity, MigrationStaleInterval),
+		Columns: []string{"mix", "signals", "rebalance", "interval",
+			"migrations", "win/loss", "viol%", "ANTT", "throughput (inf/s)"},
+		Notes: []string{
+			fmt.Sprintf("signals: staleness of the router's engine snapshots (exact = 0, stale = %v)", MigrationStaleInterval),
+			fmt.Sprintf("migration cost %v charged to each moved request as a transfer delay; every request moves at most once", cost),
+			"win/loss: migrated requests that met / missed their SLO",
+		},
+	}
+	xs := make([]float64, len(RebalanceIntervals))
+	for i, iv := range RebalanceIntervals {
+		xs[i] = float64(iv) / float64(time.Millisecond)
+	}
+	viol := &Series{
+		ID:     "migration",
+		Title:  "mixed cluster, SLO violation rate vs rebalance interval (anchors are flat)",
+		XLabel: "rebalance interval (ms)",
+		YLabel: "SLO violation rate (%)",
+		X:      xs,
+		Lines:  map[string][]float64{},
+		Order:  []string{"exact/none", "stale/none", "stale/steal", "stale/shed"},
+	}
+
+	type cell struct {
+		signals  time.Duration
+		sigName  string
+		policy   string
+		interval time.Duration
+	}
+	run := func(mixSpec string, c cell) error {
+		_, specs, err := ParseEngines(mixSpec)
+		if err != nil {
+			return err
+		}
+		o := opts
+		o.Engines = 0
+		o.EngineSpecs = specs
+		o.Dispatch = "load"
+		o.SignalInterval = c.signals
+		o.Rebalance = c.policy
+		o.RebalanceInterval = c.interval
+		o.MigrationCost = cost
+		rs, err := p.RunPoint(dysta, ratePerCapacity*capacity, 10, o)
+		if err != nil {
+			return err
+		}
+		r := rs["Dysta"]
+		ivCell := "-"
+		if c.policy != "none" {
+			ivCell = c.interval.String()
+		}
+		mixName := mixSpec
+		for _, m := range MigrationMixes {
+			if m.Spec == mixSpec {
+				mixName = m.Name
+			}
+		}
+		tbl.Rows = append(tbl.Rows, []string{
+			mixName, c.sigName, c.policy, ivCell,
+			fmt.Sprintf("%d", r.Migrations),
+			fmt.Sprintf("%d/%d", r.MigrationWins, r.MigrationLosses),
+			fmt.Sprintf("%.1f", 100*r.ViolationRate),
+			fmt.Sprintf("%.2f", r.ANTT),
+			fmt.Sprintf("%.1f", r.Throughput),
+		})
+		if mixName == "mixed" {
+			line := c.sigName + "/" + c.policy
+			if c.policy == "none" {
+				// Anchor lines are interval-independent: repeat the value
+				// across the x axis so they render as flat references.
+				for range RebalanceIntervals {
+					viol.Lines[line] = append(viol.Lines[line], 100*r.ViolationRate)
+				}
+			} else {
+				viol.Lines[line] = append(viol.Lines[line], 100*r.ViolationRate)
+			}
+		}
+		return nil
+	}
+
+	for _, mix := range MigrationMixes {
+		cells := []cell{
+			{0, "exact", "none", 0},
+			{MigrationStaleInterval, "stale", "none", 0},
+		}
+		for _, policy := range []string{"steal", "shed"} {
+			for _, iv := range RebalanceIntervals {
+				cells = append(cells, cell{MigrationStaleInterval, "stale", policy, iv})
+			}
+		}
+		for _, c := range cells {
+			if err := run(mix.Spec, c); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return []Artifact{tbl, viol}, nil
+}

@@ -53,6 +53,24 @@ type Options struct {
 	// setting SignalInterval) routes even single-engine runs through the
 	// cluster dispatch layer so the policy always applies.
 	Admission string
+	// Rebalance names the migration policy moving queued-but-never-
+	// started requests between engines: "" or "none" (no migration),
+	// "steal" (idle engines pull from the longest normalized backlog),
+	// or "shed" (engines push requests predicted to miss their SLO to
+	// whoever can still save them). Setting it routes runs through the
+	// cluster layer; migration only activates with a positive
+	// RebalanceInterval.
+	Rebalance string
+	// RebalanceInterval is the minimum virtual time between rebalance
+	// rounds. 0 disables migration — bit-identical to no rebalancer.
+	RebalanceInterval time.Duration
+	// MigrationCost is the per-request latency penalty of a migration,
+	// in reference-hardware units (a moved request becomes schedulable
+	// on its new engine only after the rebalance instant plus this).
+	MigrationCost time.Duration
+	// MigrationBudget caps total migrations per run (0 = no cap beyond
+	// the built-in once-per-request rule).
+	MigrationBudget int
 }
 
 // DefaultOptions returns the paper-scale protocol.

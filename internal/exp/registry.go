@@ -38,6 +38,7 @@ var registry = map[string]Runner{
 	"scale-engines": ScaleEngines,
 	"stale-signals": StaleSignals,
 	"hetero-scale":  HeteroScale,
+	"migration":     Migration,
 }
 
 // order is the presentation order of the paper artefacts.
@@ -63,7 +64,7 @@ func AblationIDs() []string {
 }
 
 // scale lists the beyond-the-paper scaling studies.
-var scale = []string{"scale-engines", "stale-signals", "hetero-scale"}
+var scale = []string{"scale-engines", "stale-signals", "hetero-scale", "migration"}
 
 // ScaleIDs returns the scaling-study experiment ids.
 func ScaleIDs() []string { return append([]string(nil), scale...) }

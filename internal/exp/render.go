@@ -1,8 +1,3 @@
-// Package exp is the experiment harness of the reproduction: one runner
-// per table and figure of the paper (see DESIGN.md §4 for the index), each
-// regenerating the corresponding rows or series on the Go substrate.
-// cmd/dysta-bench is the CLI front end; bench_test.go wires each runner
-// into a testing.B benchmark.
 package exp
 
 import (

@@ -51,12 +51,14 @@ func (p *Pipeline) runCell(spec SchedSpec, pt Point, seed int, opts Options) (sc
 	}
 	// The cluster path serves any run that needs the dispatch layer:
 	// more than one engine, an explicit (possibly heterogeneous) spec, a
-	// stale signal board, or an admission policy. A 1-engine cluster is
-	// bit-identical to the direct path at neutral knob settings, so
-	// admission on a single accelerator still works — and a bad
-	// -admission name errors instead of being silently ignored.
+	// stale signal board, an admission policy, or a migration policy. A
+	// 1-engine cluster is bit-identical to the direct path at neutral
+	// knob settings, so admission on a single accelerator still works —
+	// and a bad -admission or -rebalance name errors instead of being
+	// silently ignored.
 	clustered := opts.Engines > 1 || len(opts.EngineSpecs) > 0 ||
-		opts.SignalInterval > 0 || (opts.Admission != "" && opts.Admission != "none")
+		opts.SignalInterval > 0 || (opts.Admission != "" && opts.Admission != "none") ||
+		(opts.Rebalance != "" && opts.Rebalance != "none")
 	if clustered {
 		d, err := NewDispatcher(opts.Dispatch, p)
 		if err != nil {
@@ -66,12 +68,20 @@ func (p *Pipeline) runCell(spec SchedSpec, pt Point, seed int, opts Options) (sc
 		if err != nil {
 			return sched.Result{}, err
 		}
+		rbp, err := NewRebalancer(opts.Rebalance, p)
+		if err != nil {
+			return sched.Result{}, err
+		}
 		cfg := cluster.Config{
-			Engines:        opts.Engines,
-			Specs:          opts.EngineSpecs,
-			Dispatch:       d,
-			Admission:      adm,
-			SignalInterval: opts.SignalInterval,
+			Engines:           opts.Engines,
+			Specs:             opts.EngineSpecs,
+			Dispatch:          d,
+			Admission:         adm,
+			SignalInterval:    opts.SignalInterval,
+			Rebalance:         rbp,
+			RebalanceInterval: opts.RebalanceInterval,
+			MigrationCost:     opts.MigrationCost,
+			MigrationBudget:   opts.MigrationBudget,
 		}
 		engines := cfg.Engines
 		if len(cfg.Specs) > 0 {
@@ -93,6 +103,9 @@ func (p *Pipeline) runCell(spec SchedSpec, pt Point, seed int, opts Options) (sc
 	// misconfiguration either way: validate it instead of silently
 	// ignoring it (mirrors the admission-name validation above).
 	if _, err := NewDispatcher(opts.Dispatch, p); err != nil {
+		return sched.Result{}, err
+	}
+	if _, err := NewRebalancer(opts.Rebalance, p); err != nil {
 		return sched.Result{}, err
 	}
 	res, err := sched.Run(spec.New(p), reqs, sched.Options{})

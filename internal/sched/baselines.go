@@ -123,6 +123,9 @@ func (f *FCFS) OnLayerComplete(t *Task, _ int, _ float64, _ time.Duration) {
 	}
 }
 
+// OnExtract implements TaskExtractor: release the heap slot.
+func (f *FCFS) OnExtract(t *Task, _ time.Duration) { f.h.Remove(t) }
+
 // PickNext implements Scheduler: earliest arrival, ties by ID (the
 // reference linear scan).
 func (*FCFS) PickNext(ready []*Task, _ time.Duration) *Task {
@@ -183,6 +186,13 @@ func (s *SJF) OnLayerComplete(t *Task, _ int, _ float64, _ time.Duration) {
 	s.h.Fix(t)
 }
 
+// OnExtract implements TaskExtractor: release the heap slot and the
+// attached profile (the adopting scheduler re-attaches its own).
+func (s *SJF) OnExtract(t *Task, _ time.Duration) {
+	s.h.Remove(t)
+	t.Attachment = nil
+}
+
 // PickNext implements Scheduler: minimum estimated remaining time (the
 // reference linear scan).
 func (s *SJF) PickNext(ready []*Task, _ time.Duration) *Task {
@@ -228,6 +238,9 @@ func (*Planaria) OnLayerComplete(t *Task, _ int, _ float64, _ time.Duration) {
 		t.Attachment = nil
 	}
 }
+
+// OnExtract implements TaskExtractor: only the attachment holds state.
+func (*Planaria) OnExtract(t *Task, _ time.Duration) { t.Attachment = nil }
 
 // PickNext implements Scheduler: least slack first among feasible tasks;
 // if none is feasible, shortest remaining among the hopeless (the
@@ -310,6 +323,9 @@ func (*Oracle) OnArrival(*Task, time.Duration) {}
 // OnLayerComplete implements Scheduler.
 func (*Oracle) OnLayerComplete(*Task, int, float64, time.Duration) {}
 
+// OnExtract implements TaskExtractor: Oracle keeps no per-task state.
+func (*Oracle) OnExtract(*Task, time.Duration) {}
+
 // PickNext implements Scheduler (the reference scan).
 func (o *Oracle) PickNext(ready []*Task, now time.Duration) *Task {
 	best := ready[0]
@@ -353,4 +369,9 @@ var (
 	_ IncrementalScheduler = (*SJF)(nil)
 	_ IncrementalScheduler = (*Planaria)(nil)
 	_ IncrementalScheduler = (*Oracle)(nil)
+
+	_ TaskExtractor = (*FCFS)(nil)
+	_ TaskExtractor = (*SJF)(nil)
+	_ TaskExtractor = (*Planaria)(nil)
+	_ TaskExtractor = (*Oracle)(nil)
 )

@@ -117,6 +117,136 @@ func (e *Engine) Inject(r *workload.Request, now time.Duration) error {
 	return nil
 }
 
+// Extract withdraws a queued-but-never-started request from the engine by
+// task ID, for migration to another engine (cluster work stealing). The
+// returned task is detached: it sits in no queue, the scheduler holds no
+// state for it, and its ground-truth bookkeeping (TrueIsolated,
+// TrueRemaining — untouched, since no layer executed) travels with it, so
+// a subsequent Adopt on any engine resumes exact accounting.
+//
+// Only requests that have executed no layer are extractable: a started
+// task's activations live on this accelerator and its scheduler state
+// (predictor observations, accrued tokens) is not transferable. Extracting
+// a task the scheduler has already seen arrive additionally requires the
+// scheduler to implement TaskExtractor; extraction from the undelivered
+// pending set needs no scheduler cooperation. Extract fails with an error
+// — never silently — on an unknown ID, a started task, or a
+// non-extracting scheduler.
+func (e *Engine) Extract(id int) (*Task, error) {
+	if e.finished {
+		return nil, fmt.Errorf("sched: Extract after Finish")
+	}
+	// Undelivered requests first: the scheduler never saw them.
+	if t, ok := e.pending.removeByID(id); ok {
+		e.injected--
+		e.forgetArrival(t)
+		return t, nil
+	}
+	for _, t := range e.ready.Tasks() {
+		if t.ID != id {
+			continue
+		}
+		if t.NextLayer > 0 {
+			return nil, fmt.Errorf("sched: Extract of started task %d (%d of %d layers executed)",
+				id, t.NextLayer, t.NumLayers())
+		}
+		x, ok := e.s.(TaskExtractor)
+		if !ok {
+			return nil, fmt.Errorf("sched: scheduler %s does not implement TaskExtractor", e.s.Name())
+		}
+		x.OnExtract(t, e.now)
+		e.ready.remove(t)
+		e.injected--
+		e.forgetArrival(t)
+		return t, nil
+	}
+	return nil, fmt.Errorf("sched: Extract: no queued request %d", id)
+}
+
+// forgetArrival repairs firstArrival after an extraction: a departed
+// request must not anchor this engine's makespan (the window it defines
+// is served elsewhere). Only needed when the extracted task was the
+// earliest; the rescan covers every request still owned by the engine
+// (queued, pending, completed — injected counts them all).
+func (e *Engine) forgetArrival(t *Task) {
+	if t.Arrival != e.firstArrival {
+		return
+	}
+	seen := false
+	first := time.Duration(0)
+	note := func(a time.Duration) {
+		if !seen || a < first {
+			seen, first = true, a
+		}
+	}
+	for _, q := range e.ready.Tasks() {
+		note(q.Arrival)
+	}
+	for i := range e.pending.entries {
+		note(e.pending.entries[i].t.Arrival)
+	}
+	for _, d := range e.done {
+		note(d.Arrival)
+	}
+	if seen {
+		e.firstArrival = first
+	}
+	// Nothing left: injected is 0, and the next Inject/Adopt re-seeds
+	// firstArrival unconditionally.
+}
+
+// Adopt hands an extracted task to this engine. at is the virtual time the
+// task becomes visible — the extraction instant plus any migration cost
+// the orchestrator charges — and delivery follows the Inject contract: the
+// scheduler sees the task (through its own OnArrival) at the first
+// scheduling point at or after max(at, t.Arrival). The task keeps its
+// original ID, arrival and SLO, so turnaround metrics keep measuring from
+// the real arrival: a migrated request pays the transfer delay in its own
+// latency, never by rewriting history.
+func (e *Engine) Adopt(t *Task, at time.Duration) error {
+	if e.finished {
+		return fmt.Errorf("sched: Adopt after Finish")
+	}
+	if t.Done {
+		return fmt.Errorf("sched: Adopt of completed task %d", t.ID)
+	}
+	if t.NextLayer > 0 {
+		return fmt.Errorf("sched: Adopt of started task %d", t.ID)
+	}
+	if t.queueIndex != -1 {
+		return fmt.Errorf("sched: Adopt of task %d still owned by another ready queue", t.ID)
+	}
+	eff := at
+	if t.Arrival > eff {
+		eff = t.Arrival
+	}
+	if e.injected == 0 || t.Arrival < e.firstArrival {
+		e.firstArrival = t.Arrival
+	}
+	e.injected++
+	e.pending.push(t, eff)
+	return nil
+}
+
+// Migratable returns the engine's queued-but-never-started tasks — the
+// requests Extract accepts — in ascending task-ID order (the ready queue's
+// internal order is scan-order-free, so callers get a deterministic view).
+// The running task (if any) and everything that has executed a layer are
+// excluded.
+func (e *Engine) Migratable() []*Task {
+	var out []*Task
+	for _, t := range e.ready.Tasks() {
+		if t.NextLayer == 0 {
+			out = append(out, t)
+		}
+	}
+	for i := range e.pending.entries {
+		out = append(out, e.pending.entries[i].t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
 // Drained reports whether every injected request has completed.
 func (e *Engine) Drained() bool { return e.ready.Len() == 0 && e.pending.len() == 0 }
 
@@ -404,12 +534,38 @@ func (q *pendingQueue) popAtOrBefore(now time.Duration) (*Task, bool) {
 		return nil, false
 	}
 	t := q.entries[0].t
+	q.removeAt(0)
+	return t, true
+}
+
+// removeByID removes and returns the entry holding the task with the
+// given ID, or false when absent. Migration extracts undelivered requests
+// through this path; the linear scan is fine at queue sizes the engine
+// sees (rebalancing is interval-gated, not per-event).
+func (q *pendingQueue) removeByID(id int) (*Task, bool) {
+	for i := range q.entries {
+		if q.entries[i].t.ID == id {
+			t := q.entries[i].t
+			q.removeAt(i)
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+// removeAt deletes the entry at heap index i, swapping the last entry
+// into its slot and restoring the heap order in both directions (a swap
+// from the tail can violate order toward either the root or the leaves).
+func (q *pendingQueue) removeAt(i int) {
 	last := len(q.entries) - 1
-	q.entries[0] = q.entries[last]
+	q.entries[i] = q.entries[last]
 	q.entries[last] = pendingEntry{}
 	q.entries = q.entries[:last]
-	// Sift down.
-	i := 0
+	if i == last {
+		return
+	}
+	// Sift down, then up if it never moved down.
+	start := i
 	for {
 		child := 2*i + 1
 		if child >= last {
@@ -424,7 +580,16 @@ func (q *pendingQueue) popAtOrBefore(now time.Duration) (*Task, bool) {
 		q.entries[i], q.entries[child] = q.entries[child], q.entries[i]
 		i = child
 	}
-	return t, true
+	if i == start {
+		for i > 0 {
+			parent := (i - 1) / 2
+			if !q.less(i, parent) {
+				break
+			}
+			q.entries[i], q.entries[parent] = q.entries[parent], q.entries[i]
+			i = parent
+		}
+	}
 }
 
 // less orders entries by visibility time, then injection order.

@@ -98,6 +98,17 @@ func (p *PREMA) OnLayerComplete(t *Task, _ int, _ float64, now time.Duration) {
 	p.state(t).lastSeen = now
 }
 
+// OnExtract implements TaskExtractor: the migrated request forfeits its
+// accumulated tokens (starvation credit is engine-local seniority — part
+// of the price of moving), and a dangling last-pick reference is dropped
+// so the departed task cannot shadow the next dispatch decision.
+func (p *PREMA) OnExtract(t *Task, _ time.Duration) {
+	if p.lastPick == t {
+		p.lastPick = nil
+	}
+	t.Attachment = nil
+}
+
 // accrue credits waiting-time tokens to every ready task since the last
 // decision; the running task accrues nothing while executing (it was not
 // waiting).
@@ -174,4 +185,7 @@ func (p *PREMA) PickNextIncremental(q *ReadyQueue, now time.Duration) *Task {
 	return p.dispatch(cand)
 }
 
-var _ IncrementalScheduler = (*PREMA)(nil)
+var (
+	_ IncrementalScheduler = (*PREMA)(nil)
+	_ TaskExtractor        = (*PREMA)(nil)
+)

@@ -45,6 +45,14 @@ type Result struct {
 	// violation rate cover admitted requests only, which is why Goodput —
 	// not ViolationRate — is the headline metric under admission control.
 	Rejected int
+	// Migrations counts requests moved between engines by the cluster
+	// rebalancer (internal/cluster work stealing / shedding); zero on
+	// every single-engine run. MigrationWins and MigrationLosses split
+	// the migrated requests by whether they ultimately met their SLO —
+	// the accounting that shows whether moving work paid for its
+	// transfer cost. Like Rejected, these are dispatch-layer counters
+	// carried here so they survive the seed-averaging pipeline.
+	Migrations, MigrationWins, MigrationLosses int
 	// Makespan is the time from first arrival to last completion.
 	Makespan time.Duration
 	// PerModel breaks ANTT and violation rate down by model name; short
@@ -105,6 +113,9 @@ func AverageResults(rs []Result) Result {
 		avg.Requests += r.Requests
 		avg.Dropped += r.Dropped
 		avg.Rejected += r.Rejected
+		avg.Migrations += r.Migrations
+		avg.MigrationWins += r.MigrationWins
+		avg.MigrationLosses += r.MigrationLosses
 		meanLat += float64(r.MeanLatency)
 		p99Lat += float64(r.P99Latency)
 		makespan += float64(r.Makespan)
@@ -136,6 +147,14 @@ func AverageResults(rs []Result) Result {
 	avg.Requests = int(math.Round(float64(avg.Requests) / n))
 	avg.Dropped = int(math.Round(float64(avg.Dropped) / n))
 	avg.Rejected = int(math.Round(float64(avg.Rejected) / n))
+	avg.Migrations = int(math.Round(float64(avg.Migrations) / n))
+	avg.MigrationWins = int(math.Round(float64(avg.MigrationWins) / n))
+	// Derive losses instead of rounding them independently, so the
+	// per-run invariant wins + losses == migrations survives averaging
+	// (three independent roundings can disagree by one). Rounding is
+	// monotone and wins <= migrations per run, so this never goes
+	// negative.
+	avg.MigrationLosses = avg.Migrations - avg.MigrationWins
 	avg.MeanLatency = time.Duration(meanLat / n)
 	avg.P99Latency = time.Duration(p99Lat / n)
 	avg.Makespan = time.Duration(makespan / n)

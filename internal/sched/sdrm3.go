@@ -37,6 +37,9 @@ func (*SDRM3) OnLayerComplete(t *Task, _ int, _ float64, _ time.Duration) {
 	}
 }
 
+// OnExtract implements TaskExtractor: only the attachment holds state.
+func (*SDRM3) OnExtract(t *Task, _ time.Duration) { t.Attachment = nil }
+
 // PickNext implements Scheduler: maximum MapScore (the reference scan).
 func (s *SDRM3) PickNext(ready []*Task, now time.Duration) *Task {
 	best := ready[0]
@@ -83,4 +86,7 @@ func (s *SDRM3) mapScore(t *Task, now time.Duration) float64 {
 	return s.Alpha*urgency + fairness
 }
 
-var _ IncrementalScheduler = (*SDRM3)(nil)
+var (
+	_ IncrementalScheduler = (*SDRM3)(nil)
+	_ TaskExtractor        = (*SDRM3)(nil)
+)

@@ -1,10 +1,3 @@
-// Package sched implements Phase 2 of the paper's methodology: a
-// discrete-event, layer-granularity preemptive scheduling engine for a
-// single time-shared accelerator (§4.2.2: "execution is performed in a
-// per-layer or per-layer-block manner ... whenever the execution of one
-// layer completes, the scheduler is invoked"), the scheduling metrics
-// (ANTT, SLO violation rate, STP — §6.1), and the status-quo baseline
-// schedulers the paper compares against (§6.1).
 package sched
 
 import (
@@ -135,4 +128,20 @@ type Scheduler interface {
 	// slice. Returning a task not in ready is a programming error the
 	// engine reports.
 	PickNext(ready []*Task, now time.Duration) *Task
+}
+
+// TaskExtractor is the optional Scheduler extension request migration
+// requires: Engine.Extract withdraws a delivered-but-never-executed task
+// from the ready queue, and the scheduler must release every trace of it
+// — heap slots, attachments, candidate bookkeeping — as if the task had
+// never arrived, because the same task will re-enter another scheduler
+// instance through its OnArrival. Schedulers that keep no per-task state
+// outside Task.Attachment only need to clear the attachment. A scheduler
+// without this method cannot serve on a migrating cluster: Engine.Extract
+// refuses (with an error) to withdraw a delivered task from it rather
+// than corrupt its internal ordering structures.
+type TaskExtractor interface {
+	// OnExtract is called once, before the task leaves the ready queue,
+	// with the engine clock of the extraction.
+	OnExtract(t *Task, now time.Duration)
 }
