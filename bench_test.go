@@ -171,6 +171,37 @@ func BenchmarkClusterSteal(b *testing.B) {
 	}
 }
 
+// BenchmarkClusterChurn measures the fault-injection hot path: the
+// 500-request stream on 4 engines behind stale load-aware dispatch
+// while engines fail and recover on a 2s-MTBF schedule — the
+// configuration that exercises Crash/Restart, failover re-dispatch,
+// redirect scans and sealed-incarnation aggregation on top of
+// BenchmarkClusterDysta's baseline.
+func BenchmarkClusterChurn(b *testing.B) {
+	lut, reqs := benchWorkload(b)
+	est := sched.NewEstimator(lut)
+	load := cluster.SparsityAwareLoad(lut, est)
+	plan, err := cluster.GenChurn(4, time.Minute, 2*time.Second, 150*time.Millisecond, 29)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := cluster.NewLeastLoad("load", load)
+		if _, err := cluster.Run(func(int) sched.Scheduler { return core.NewDefault(lut) }, reqs,
+			cluster.Config{
+				Engines:        4,
+				Dispatch:       d,
+				SignalInterval: 20 * time.Millisecond,
+				Churn:          &plan,
+				RetryMax:       4,
+			}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkScaleEngines regenerates the scale-engines experiment.
 func BenchmarkScaleEngines(b *testing.B) { runExp(b, "scale-engines") }
 

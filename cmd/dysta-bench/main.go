@@ -40,6 +40,10 @@ func main() {
 		rebalIv   = flag.Duration("rebalance-interval", 0, "minimum virtual time between rebalance rounds (0 = migration off)")
 		migCost   = flag.Duration("migration-cost", 0, "per-request migration latency penalty in reference units")
 		migBudg   = flag.Int("migration-budget", 0, "max total migrations per run (0 = once-per-request rule only)")
+		churn     = flag.Bool("churn", false, "override: inject deterministic engine failures (exponential up/down phases of mean -mtbf/-mttr) into every cluster run")
+		mtbf      = flag.Duration("mtbf", time.Second, "mean virtual time between failures per engine (with -churn)")
+		mttr      = flag.Duration("mttr", 100*time.Millisecond, "mean virtual down-time per failure (with -churn)")
+		retryMax  = flag.Int("retry-max", 0, "max restart-from-zero retries per request after a failure (0 = unlimited, with -churn)")
 		outDir    = flag.String("out", "", "also write each experiment's output to <dir>/<id>.txt")
 		benchJSON = flag.Bool("json", false,
 			"run the hot-path micro-benchmarks and write BENCH_<date>.json (to -out dir, or cwd)")
@@ -133,6 +137,22 @@ func main() {
 	opts.RebalanceInterval = *rebalIv
 	opts.MigrationCost = *migCost
 	opts.MigrationBudget = *migBudg
+	// Fault injection follows the same switch discipline: -churn arms it,
+	// and the availability model without the switch is dead configuration.
+	if *churn && (*mtbf <= 0 || *mttr <= 0) {
+		fmt.Fprintln(os.Stderr, "-churn needs positive -mtbf and -mttr")
+		os.Exit(2)
+	}
+	if *retryMax < 0 {
+		fmt.Fprintln(os.Stderr, "-retry-max must be >= 0 (0 = unlimited)")
+		os.Exit(2)
+	}
+	opts.Churn = *churn
+	if *churn {
+		opts.MTBF = *mtbf
+		opts.MTTR = *mttr
+		opts.RetryMax = *retryMax
+	}
 
 	ids := []string{*expID}
 	switch *expID {

@@ -142,6 +142,31 @@ func runMicroBenchmarks() ([]BenchRecord, error) {
 				}
 			}
 		}},
+		{"ClusterChurn", func(b *testing.B) {
+			// The fault-injection hot path: stale signals + churn with
+			// failover, retries and redirects on top of the ClusterDysta
+			// configuration (MTBF chosen so several engines die and
+			// recover within the 500-request stream).
+			load := cluster.SparsityAwareLoad(lut, est)
+			plan, err := cluster.GenChurn(4, time.Minute, 2*time.Second, 150*time.Millisecond, 29)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				d := cluster.NewLeastLoad("load", load)
+				if _, err := cluster.Run(func(int) sched.Scheduler { return core.NewDefault(lut) },
+					reqs, cluster.Config{
+						Engines:        4,
+						Dispatch:       d,
+						SignalInterval: 20 * time.Millisecond,
+						Churn:          &plan,
+						RetryMax:       4,
+					}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
 		{"PredictorStep", func(b *testing.B) {
 			st := lut.MustLookup(trace.Key{Model: "bert", Pattern: sparsity.Dense})
 			p := core.NewPredictor(core.DefaultConfig(), st)

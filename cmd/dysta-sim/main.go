@@ -22,6 +22,19 @@ import (
 	"sparsedysta/internal/workload"
 )
 
+// churnFlagSet reports whether the named flag was passed explicitly on
+// the command line — its default value alone must not arm fault
+// injection.
+func churnFlagSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
 func main() {
 	var (
 		wl       = flag.String("workload", "attnn", "workload scenario: attnn, cnn, or a path to a JSON spec (see -dump-spec)")
@@ -41,6 +54,10 @@ func main() {
 		rebalIv  = flag.Duration("rebalance-interval", 0, "minimum virtual time between rebalance rounds (0 = migration off)")
 		migCost  = flag.Duration("migration-cost", 0, "per-request migration latency penalty in reference units")
 		migBudg  = flag.Int("migration-budget", 0, "max total migrations per run (0 = once-per-request rule only)")
+		churn    = flag.Bool("churn", false, "inject deterministic engine failures: each engine alternates exponential up/down phases of mean -mtbf/-mttr")
+		mtbf     = flag.Duration("mtbf", time.Second, "mean virtual time between failures per engine (with -churn)")
+		mttr     = flag.Duration("mttr", 100*time.Millisecond, "mean virtual down-time per failure (with -churn)")
+		retryMax = flag.Int("retry-max", 0, "max restart-from-zero retries per request after a failure destroys its progress; past the cap it counts as lost work (0 = unlimited, with -churn)")
 		eta      = flag.Float64("eta", core.DefaultConfig().Eta, "Dysta eta (dynamic slack weight)")
 		beta     = flag.Float64("beta", core.DefaultConfig().Beta, "Dysta beta (static slack weight)")
 		dumpSpec = flag.Bool("dump-spec", false, "print the selected scenario as a JSON spec and exit")
@@ -102,6 +119,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, "-rebalance-interval/-migration-cost/-migration-budget need -rebalance steal or shed")
 		os.Exit(2)
 	}
+	// Same no-silent-knob discipline for fault injection: -churn is the
+	// switch, so an availability model or retry cap without it would be
+	// dead configuration.
+	if *churn && (*mtbf <= 0 || *mttr <= 0) {
+		fmt.Fprintln(os.Stderr, "-churn needs positive -mtbf and -mttr")
+		os.Exit(2)
+	}
+	if !*churn && (*retryMax != 0 || churnFlagSet("mtbf") || churnFlagSet("mttr")) {
+		fmt.Fprintln(os.Stderr, "-mtbf/-mttr/-retry-max need -churn")
+		os.Exit(2)
+	}
+	if *retryMax < 0 {
+		fmt.Fprintln(os.Stderr, "-retry-max must be >= 0 (0 = unlimited)")
+		os.Exit(2)
+	}
 	opts := exp.Options{
 		Seeds:             *seeds,
 		Requests:          *requests,
@@ -117,6 +149,10 @@ func main() {
 		RebalanceInterval: *rebalIv,
 		MigrationCost:     *migCost,
 		MigrationBudget:   *migBudg,
+		Churn:             *churn,
+		MTBF:              *mtbf,
+		MTTR:              *mttr,
+		RetryMax:          *retryMax,
 	}
 	p, err := exp.NewPipeline(sc, opts, 7)
 	if err != nil {
@@ -167,11 +203,17 @@ func main() {
 	if migrating {
 		fmt.Printf("  rebalance %s every %v (cost %v)", *rebal, *rebalIv, *migCost)
 	}
+	if *churn {
+		fmt.Printf("  churn mtbf %v mttr %v retry-max %d", *mtbf, *mttr, *retryMax)
+	}
 	fmt.Print("\n\n")
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	header := "scheduler\tANTT\tviol%\tthroughput\tgoodput\trejected\tmean lat\tp99 lat\tpreemptions"
 	if migrating {
 		header += "\tmigrations\twin/loss"
+	}
+	if *churn {
+		header += "\tfailovers\tretries\tredirects\tlost"
 	}
 	fmt.Fprintln(tw, header)
 	for _, s := range specs {
@@ -182,6 +224,9 @@ func main() {
 			r.Preemptions)
 		if migrating {
 			fmt.Fprintf(tw, "\t%d\t%d/%d", r.Migrations, r.MigrationWins, r.MigrationLosses)
+		}
+		if *churn {
+			fmt.Fprintf(tw, "\t%d\t%d\t%d\t%d", r.Failovers, r.Retries, r.Redirects, r.LostWork)
 		}
 		fmt.Fprintln(tw)
 	}

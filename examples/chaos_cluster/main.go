@@ -1,0 +1,145 @@
+// Engine churn on a serving cluster: the walkthrough for the fault
+// injector and the degraded-mode contracts behind it.
+//
+// The setup is a uniform 4-engine cluster behind a sparsity-aware
+// router whose engine snapshots lag by 20ms — long enough that a
+// freshly dead engine keeps looking alive (and attractively idle) to
+// the dispatcher for many arrivals. Then the engines start dying on an
+// exponential availability clock. Three acts:
+//
+//  1. The damage: the same stream with churn off, then at rising
+//     failure rates — queued work fails over, in-flight work restarts
+//     from layer zero, arrivals bounce off corpses the stale router
+//     still routes to, and the violation rate climbs.
+//
+//  2. The repair: work stealing against the same failure schedule. A
+//     recovered engine re-enters empty — exactly the idle thief the
+//     steal trigger looks for — so the outage backlog re-spreads
+//     instead of drowning the survivors.
+//
+//  3. Writing work off: capping retries trades completions under churn
+//     for bounded worst-case work; the books must balance either way
+//     (every request ends as goodput, a violation, rejected, or lost).
+//
+//     go run ./examples/chaos_cluster
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"sparsedysta/internal/cluster"
+	"sparsedysta/internal/core"
+	"sparsedysta/internal/sched"
+	"sparsedysta/internal/trace"
+	"sparsedysta/internal/workload"
+)
+
+func main() {
+	scenario := workload.MultiAttNN()
+	profiling, evaluation, err := workload.BuildStores(scenario, 60, 250, 13)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lut, err := trace.NewStatsSet(profiling)
+	if err != nil {
+		log.Fatal(err)
+	}
+	est := sched.NewEstimator(lut)
+	load := cluster.SparsityAwareLoad(lut, est)
+
+	const engines = 4
+	const stale = 20 * time.Millisecond
+	const mttr = 150 * time.Millisecond
+	mean, err := workload.MeanIsolated(scenario, evaluation)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rate := engines * 0.8 / mean.Seconds()
+	requests, err := workload.Generate(scenario, evaluation, workload.GenConfig{
+		Requests: 2000, RatePerSec: rate, SLOMultiplier: 10, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	horizon := 2 * time.Duration(float64(len(requests))/rate*float64(time.Second))
+	fmt.Printf("%d uniform engines at %.0f req/s (~80%% utilization), router snapshots %v stale\n",
+		engines, rate, stale)
+	fmt.Printf("churn: exponential up/down phases per engine, MTTR %v\n\n", mttr)
+
+	newDysta := func(int) sched.Scheduler { return core.NewDefault(lut) }
+	run := func(cfg cluster.Config) cluster.Result {
+		cfg.Engines = engines
+		cfg.Dispatch = cluster.NewLeastLoad("sparse-load", load)
+		cfg.SignalInterval = stale
+		res, err := cluster.Run(newDysta, requests, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+	churnPlan := func(mtbf time.Duration) *cluster.ChurnPlan {
+		plan, err := cluster.GenChurn(engines, horizon, mtbf, mttr, 29)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return &plan
+	}
+
+	// Act 1: what churn costs without any repair.
+	fmt.Println("1) the damage: rising failure rates, nobody helps:")
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "mtbf\tevents\tfailovers\tretries\tredirects\tlost\tviol%\tANTT")
+	calm := run(cluster.Config{})
+	fmt.Fprintf(tw, "-\t0\t0\t0\t0\t0\t%.1f\t%.2f\n", 100*calm.ViolationRate, calm.ANTT)
+	stormy := map[time.Duration]cluster.Result{}
+	for _, mtbf := range []time.Duration{4 * time.Second, 2 * time.Second, time.Second} {
+		res := run(cluster.Config{Churn: churnPlan(mtbf)})
+		stormy[mtbf] = res
+		fmt.Fprintf(tw, "%v\t%d\t%d\t%d\t%d\t%d\t%.1f\t%.2f\n",
+			mtbf, res.ChurnEvents, res.Failovers, res.Retries, res.Redirects,
+			res.LostWork, 100*res.ViolationRate, res.ANTT)
+	}
+	tw.Flush()
+
+	// Act 2: work stealing against the exact same failure schedules.
+	fmt.Println("\n2) the repair: steal every 2ms (cost 200µs), same failures:")
+	tw = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "mtbf\tmigrations\tretries\tviol%\tgap recovered")
+	for _, mtbf := range []time.Duration{4 * time.Second, 2 * time.Second, time.Second} {
+		res := run(cluster.Config{
+			Churn:             churnPlan(mtbf),
+			Rebalance:         cluster.Steal{Load: load},
+			RebalanceInterval: 2 * time.Millisecond,
+			MigrationCost:     200 * time.Microsecond,
+		})
+		recovered := 0.0
+		if gap := stormy[mtbf].ViolationRate - calm.ViolationRate; gap > 0 {
+			recovered = 100 * (stormy[mtbf].ViolationRate - res.ViolationRate) / gap
+		}
+		fmt.Fprintf(tw, "%v\t%d\t%d\t%.1f\t%.0f%%\n",
+			mtbf, res.Migrations, res.Retries, 100*res.ViolationRate, recovered)
+	}
+	tw.Flush()
+
+	// Act 3: the retry cap. Every request must land somewhere — the
+	// conservation identity below is checked inside cluster.Run too.
+	fmt.Println("\n3) writing work off: retry caps at mtbf 1s:")
+	tw = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "retry-max\tretries\tlost\tgoodput+viol+rejected+lost\toffered")
+	for _, cap := range []int{0, 2, 1} {
+		res := run(cluster.Config{Churn: churnPlan(time.Second), RetryMax: cap})
+		capCell := "unlimited"
+		if cap > 0 {
+			capCell = fmt.Sprintf("%d", cap)
+		}
+		good := res.Requests - res.Violations
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d+%d+%d+%d = %d\t%d\n",
+			capCell, res.Retries, res.LostWork,
+			good, res.Violations, res.Rejected, res.LostWork,
+			good+res.Violations+res.Rejected+res.LostWork, res.Offered)
+	}
+	tw.Flush()
+}

@@ -46,9 +46,15 @@ type QueueCap struct {
 // Name implements Admission.
 func (q QueueCap) Name() string { return fmt.Sprintf("queue-cap:%d", q.Cap) }
 
-// Admit implements Admission.
+// Admit implements Admission. Engines marked Down don't count as room:
+// a crashed engine's snapshot (once refreshed) shows zero outstanding,
+// and without the check the front door would admit everything into a
+// shrunken cluster precisely while capacity is gone.
 func (q QueueCap) Admit(sig []EngineSignal, _ *workload.Request, _ time.Duration) bool {
 	for _, s := range sig {
+		if s.Down {
+			continue
+		}
 		if s.Outstanding < q.Cap {
 			return true
 		}
@@ -84,10 +90,16 @@ func (SLOShed) Name() string { return "slo" }
 // precedence so routing and admission share one metrics pipeline.
 func (a SLOShed) LoadFunc() func(*sched.Task) time.Duration { return a.Load }
 
-// Admit implements Admission.
+// Admit implements Admission. Down engines can't save anyone: their
+// snapshots are excluded from the feasibility scan (same rationale as
+// QueueCap — a dead engine's empty queue predicts a completion that
+// will never happen).
 func (a SLOShed) Admit(sig []EngineSignal, r *workload.Request, now time.Duration) bool {
 	iso := a.Iso(r)
 	for _, s := range sig {
+		if s.Down {
+			continue
+		}
 		scale := s.LatencyScale
 		if scale <= 0 {
 			scale = 1

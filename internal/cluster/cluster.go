@@ -57,6 +57,16 @@ type Config struct {
 	// beyond the built-in once-per-request rule (which alone bounds
 	// migrations by the stream length and makes thrashing impossible).
 	MigrationBudget int
+	// Churn schedules engine failures, recoveries, drains and joins at
+	// fixed virtual-clock instants (see churn.go). Nil — or a plan with
+	// no events — disables fault injection entirely: the run takes
+	// exactly the pre-churn code path, bit-identically.
+	Churn *ChurnPlan
+	// RetryMax caps how many times one request may restart from zero
+	// after engine failures before it is abandoned as lost work. 0 means
+	// unlimited retries (a request is only lost if no engine ever comes
+	// back for it); a cap is opt-in with RetryMax >= 1.
+	RetryMax int
 	// Sched tunes each engine of a homogeneous cluster (ignored for
 	// engines covered by Specs).
 	Sched sched.Options
@@ -118,6 +128,10 @@ type Result struct {
 	// The degenerate all-idle cluster (total busy time zero) reports
 	// 1.0 — no work was concentrated anywhere.
 	Imbalance float64
+	// ChurnEvents counts fired fault-injection events (0 without a churn
+	// plan). The failure-handling counters themselves — Failovers,
+	// Retries, Redirects, LostWork — live on the embedded sched.Result.
+	ChurnEvents int
 }
 
 // Run simulates the request stream over the configured engines, one fresh
@@ -186,6 +200,22 @@ func Run(newSched func(engine int) sched.Scheduler, reqs []*workload.Request, cf
 			cfg.RebalanceInterval, cfg.MigrationCost, cfg.MigrationBudget)
 	}
 
+	// Fault injection is armed only when the plan has events; a churn-free
+	// run never consults the injector (the bit-identity anchor). The
+	// injector mutates the shared `engines` slice in place on failures, so
+	// the board and rebalancer always see the current incarnations.
+	var fi *faultInjector
+	if cfg.Churn != nil && len(cfg.Churn.Events) > 0 {
+		fi, err = newFaultInjector(cfg.Churn, engines, specs, newSched,
+			board, dispatch, reqs, cfg.MigrationCost, cfg.RetryMax)
+		if err != nil {
+			return Result{}, err
+		}
+		if rb != nil {
+			rb.bindLiveness(fi.up)
+		}
+	}
+
 	// advance commits every engine event strictly before `until`, in
 	// (event time, engine index) order; drain commits every remaining
 	// event (no sentinel instant that could shadow a real event).
@@ -220,6 +250,30 @@ func Run(newSched func(engine int) sched.Scheduler, reqs []*workload.Request, cf
 	run := func(until time.Duration, bounded bool) error {
 		for {
 			best := next(until, bounded)
+			// Churn events interleave with engine events in global time
+			// order, firing first at equal instants: the control plane
+			// acts before the data plane, so a layer "completing" at the
+			// exact crash instant dies with the accelerator. A failure can
+			// reshape the event horizon (the crashed engine's events
+			// vanish, adopters gain some), so re-evaluate from scratch
+			// after each firing. In the unbounded drain this also fires
+			// events past the last engine event — the recovery that
+			// un-parks work stranded by an all-engines-down window.
+			if fi != nil {
+				if ct, ok := fi.peek(); ok && (!bounded || ct < until) {
+					due := best < 0
+					if !due {
+						bt, _ := engines[best].NextEvent()
+						due = ct <= bt
+					}
+					if due {
+						if err := fi.fireUpTo(ct); err != nil {
+							return err
+						}
+						continue
+					}
+				}
+			}
 			if best < 0 {
 				return nil
 			}
@@ -228,9 +282,12 @@ func Run(newSched func(engine int) sched.Scheduler, reqs []*workload.Request, cf
 					if err := rb.rebalance(at); err != nil {
 						return err
 					}
-					if best = next(until, bounded); best < 0 {
-						return nil
-					}
+					// Migration may have reshaped the event horizon —
+					// possibly past a pending churn instant — so restart
+					// the scan instead of stepping a stale pick. The
+					// round just fired, so rb.due is false and this
+					// cannot loop.
+					continue
 				}
 			}
 			if _, err := engines[best].Step(); err != nil {
@@ -248,6 +305,15 @@ func Run(newSched func(engine int) sched.Scheduler, reqs []*workload.Request, cf
 		if err := advance(r.Arrival); err != nil {
 			return Result{}, err
 		}
+		// Churn events at exactly the arrival instant fire before the
+		// arrival is routed (control plane before data plane): the
+		// request arrives at a cluster that has already lost — or
+		// regained — the engine.
+		if fi != nil {
+			if err := fi.fireUpTo(r.Arrival); err != nil {
+				return Result{}, err
+			}
+		}
 		if rb != nil && rb.due(r.Arrival) {
 			if err := rb.rebalance(r.Arrival); err != nil {
 				return Result{}, err
@@ -263,12 +329,28 @@ func Run(newSched func(engine int) sched.Scheduler, reqs []*workload.Request, cf
 			return Result{}, fmt.Errorf("cluster: dispatcher %s picked engine %d of %d",
 				dispatch.Name(), idx, len(engines))
 		}
+		// The pick may target a corpse — the board's stale snapshot can
+		// keep a dead engine attractive until the next refresh. Bounce
+		// to the next live engine; with the whole cluster down the
+		// request is refused outright (the 503 of a serving stack),
+		// counted with the admission rejections, never silently dropped.
+		if fi != nil {
+			live, ok := fi.resolve(idx)
+			if !ok {
+				rejected++
+				continue
+			}
+			idx = live
+		}
 		if err := engines[idx].Inject(r, r.Arrival); err != nil {
 			return Result{}, err
 		}
 	}
 	if err := drain(); err != nil {
 		return Result{}, err
+	}
+	if fi != nil {
+		fi.finish()
 	}
 
 	res := Result{
@@ -283,8 +365,37 @@ func Run(newSched func(engine int) sched.Scheduler, reqs []*workload.Request, cf
 		busy[i] = e.BusyTime()
 		res.PerEngine[i] = e.Finish()
 	}
-	res.Result = aggregate(res.PerEngine)
+	// PerEngine reports the slots' final incarnations; requests completed
+	// by incarnations that later crashed are sealed results the injector
+	// kept, and they join the cluster-wide aggregate so a served request
+	// counts whether or not its engine outlived it.
+	combined := res.PerEngine
+	if fi != nil && len(fi.sealed) > 0 {
+		combined = append(append([]sched.Result(nil), fi.sealed...), res.PerEngine...)
+	}
+	res.Result = aggregate(combined)
 	res.Result.Rejected = rejected
+	// The cluster's offered load is the full request stream: rejected
+	// requests never reach an engine, so the per-engine Offered counters
+	// (injections) exclude them. Overriding from len(reqs) keeps the
+	// outcome conservation identity closed at the cluster level.
+	res.Result.Offered = len(reqs)
+	if fi != nil {
+		res.Result.LostWork = fi.lost
+		res.Result.Failovers = fi.failovers
+		res.Result.Retries = fi.retries
+		res.Result.Redirects = fi.redirects
+		res.ChurnEvents = fi.churns
+		for i := range busy {
+			busy[i] += fi.priorBusy[i]
+		}
+		// Every injected request must land in exactly one outcome class;
+		// a failure here is a simulator bug (silently dropped or
+		// double-counted work), not a runtime condition.
+		if err := sched.CheckOutcomeConservation(res.Result); err != nil {
+			return Result{}, err
+		}
+	}
 	if rb != nil {
 		// Win/loss accounting over the union of outcomes (recorded
 		// unconditionally above): did each moved request ultimately make
@@ -392,6 +503,7 @@ func aggregate(per []sched.Result) sched.Result {
 		perModel[name] = m
 	}
 	agg.Requests = len(outcomes)
+	agg.Violations = violations
 	agg.ANTT = stats.Mean(ratios)
 	agg.ViolationRate = float64(violations) / float64(len(outcomes))
 	agg.MeanLatency = time.Duration(stats.Mean(latencies))

@@ -53,10 +53,25 @@ func (d *RoundRobin) Reset() { d.next = 0 }
 
 // Pick implements Dispatcher. The counter wraps inside [0, len(sig)), so
 // it can neither overflow nor go out of range when the engine count
-// changes between runs.
+// changes between runs. Engines marked Down are skipped deterministically:
+// the rotation advances from the cursor to the first in-service engine
+// and resumes after it, so the relative order among live engines is
+// preserved and a recovered engine slips back into its slot. With every
+// engine marked down (or none marked at all) the cursor's own pick
+// stands — on a fully healthy cluster this is exactly the pre-liveness
+// rotation, and on a fully dead one the cluster layer, not the
+// dispatcher, decides the request's fate.
 func (d *RoundRobin) Pick(sig []EngineSignal, _ *workload.Request, _ time.Duration) int {
 	if d.next >= len(sig) {
 		d.next = 0
+	}
+	for k := 0; k < len(sig); k++ {
+		i := (d.next + k) % len(sig)
+		if sig[i].Down {
+			continue
+		}
+		d.next = (i + 1) % len(sig)
+		return i
 	}
 	i := d.next
 	d.next = (d.next + 1) % len(sig)
@@ -76,12 +91,27 @@ func NewJSQ() *JSQ { return &JSQ{} }
 // Name implements Dispatcher.
 func (*JSQ) Name() string { return "jsq" }
 
-// Pick implements Dispatcher.
+// Pick implements Dispatcher. Down engines are excluded from the
+// min-scan (ties still break to the lowest in-service index); with every
+// engine down the scan falls back to ignoring liveness, leaving the
+// all-dead case to the cluster layer.
 func (*JSQ) Pick(sig []EngineSignal, _ *workload.Request, _ time.Duration) int {
-	best, bestLen := 0, sig[0].NormOutstanding()
-	for i := 1; i < len(sig); i++ {
-		if n := sig[i].NormOutstanding(); n < bestLen {
+	best := -1
+	var bestLen float64
+	for i := range sig {
+		if sig[i].Down {
+			continue
+		}
+		if n := sig[i].NormOutstanding(); best < 0 || n < bestLen {
 			best, bestLen = i, n
+		}
+	}
+	if best < 0 {
+		best, bestLen = 0, sig[0].NormOutstanding()
+		for i := 1; i < len(sig); i++ {
+			if n := sig[i].NormOutstanding(); n < bestLen {
+				best, bestLen = i, n
+			}
 		}
 	}
 	return best
@@ -111,12 +141,26 @@ func (d *LeastLoad) Name() string { return d.name }
 // LoadFunc exposes the estimate to the SignalBoard (loadProvider).
 func (d *LeastLoad) LoadFunc() func(*sched.Task) time.Duration { return d.load }
 
-// Pick implements Dispatcher.
+// Pick implements Dispatcher. Down engines are excluded exactly as in
+// JSQ.Pick: out of the min-scan, lowest in-service index on ties, full
+// scan as the all-dead fallback.
 func (d *LeastLoad) Pick(sig []EngineSignal, _ *workload.Request, _ time.Duration) int {
-	best, bestLoad := 0, sig[0].NormBacklog()
-	for i := 1; i < len(sig); i++ {
-		if w := sig[i].NormBacklog(); w < bestLoad {
+	best := -1
+	var bestLoad float64
+	for i := range sig {
+		if sig[i].Down {
+			continue
+		}
+		if w := sig[i].NormBacklog(); best < 0 || w < bestLoad {
 			best, bestLoad = i, w
+		}
+	}
+	if best < 0 {
+		best, bestLoad = 0, sig[0].NormBacklog()
+		for i := 1; i < len(sig); i++ {
+			if w := sig[i].NormBacklog(); w < bestLoad {
+				best, bestLoad = i, w
+			}
 		}
 	}
 	return best

@@ -55,6 +55,12 @@ type EngineView struct {
 	// Eligible lists the engine's migratable requests in ascending
 	// task-ID order, excluding requests that already migrated once.
 	Eligible []Candidate
+	// Down reports the engine is out of service (failed or draining) at
+	// this rebalance instant. Unlike the dispatch-layer signal this is
+	// live truth, not a stale snapshot — peers always know who answers.
+	// Policies must neither raid nor feed a Down engine; the Rebalancer
+	// rejects such moves as malformed. The zero value is "in service".
+	Down bool
 }
 
 // Move is one proposed migration: the request with task ID moves from
@@ -134,12 +140,12 @@ func (Steal) Plan(views []EngineView, _, _ time.Duration) []Move {
 	}
 	var moves []Move
 	for thief := range views {
-		if views[thief].Outstanding > 1 {
+		if views[thief].Down || views[thief].Outstanding > 1 {
 			continue
 		}
 		victim := -1
 		for i := range views {
-			if i == thief || len(remaining[i]) == 0 ||
+			if i == thief || views[i].Down || len(remaining[i]) == 0 ||
 				views[i].Outstanding < 2 || backlog[i] <= backlog[thief] {
 				continue
 			}
@@ -204,6 +210,9 @@ func (Shed) Plan(views []EngineView, now, cost time.Duration) []Move {
 	}
 	var moves []Move
 	for i, v := range views {
+		if v.Down {
+			continue
+		}
 		for _, c := range v.Eligible {
 			// Predicted completion here: behind the engine's whole
 			// normalized backlog (which includes this request).
@@ -214,7 +223,7 @@ func (Shed) Plan(views []EngineView, now, cost time.Duration) []Move {
 			service := float64(c.Est)
 			best, bestDone := -1, 0.0
 			for j, w := range views {
-				if j == i {
+				if j == i || w.Down {
 					continue
 				}
 				done := float64(now+cost) + drain[j] + service*w.LatencyScale
@@ -242,10 +251,16 @@ type Rebalancer struct {
 	interval time.Duration
 	cost     time.Duration
 	budget   int
+	up       func(engine int) bool
 	last     time.Duration
 	moved    map[int]bool
 	count    int
 }
+
+// bindLiveness attaches the fault injector's availability source: views
+// carry live (not stale) liveness, and moves touching a Down engine are
+// rejected as malformed. Unbound, every engine is in service.
+func (rb *Rebalancer) bindLiveness(up func(engine int) bool) { rb.up = up }
 
 // newRebalancer wires the policy to the engines. load is the shared
 // per-task estimate of the run's metrics pipeline (nil = queue-length
@@ -299,6 +314,7 @@ func (rb *Rebalancer) views() []EngineView {
 			LatencyScale: e.LatencyScale(),
 			Outstanding:  e.Outstanding(),
 			NormBacklog:  float64(e.EstimatedBacklog(rb.load)) * e.LatencyScale(),
+			Down:         rb.up != nil && !rb.up(i),
 		}
 		for _, t := range e.Migratable() {
 			if rb.moved[t.ID] {
@@ -326,6 +342,10 @@ func (rb *Rebalancer) rebalance(now time.Duration) error {
 		}
 		if m.From < 0 || m.From >= len(rb.engines) || m.To < 0 || m.To >= len(rb.engines) || m.From == m.To {
 			return fmt.Errorf("cluster: policy %s proposed invalid move %+v", rb.policy.Name(), m)
+		}
+		if rb.up != nil && (!rb.up(m.From) || !rb.up(m.To)) {
+			return fmt.Errorf("cluster: policy %s moved request %d through an out-of-service engine (%d -> %d)",
+				rb.policy.Name(), m.ID, m.From, m.To)
 		}
 		if rb.moved[m.ID] {
 			return fmt.Errorf("cluster: policy %s re-moved request %d", rb.policy.Name(), m.ID)

@@ -23,6 +23,14 @@ type EngineSignal struct {
 	// speed, 2 = half speed). Hardware doesn't change at runtime, so
 	// this field is always exact, never stale.
 	LatencyScale float64
+	// Down reports the engine was out of service (failed or draining) at
+	// the last refresh. Like every other signal it is a stale snapshot:
+	// an engine that died since the refresh still shows Down == false,
+	// so dispatchers can and do route to a corpse — the cluster bounces
+	// such picks to a live engine and counts the redirect. The zero
+	// value is "in service", so signals built without fault injection
+	// (and every pre-churn caller) describe a fully healthy cluster.
+	Down bool
 }
 
 // NormOutstanding is the capacity-normalized queue length: the signal's
@@ -64,6 +72,7 @@ type SignalBoard struct {
 	engines  []*sched.Engine
 	interval time.Duration
 	load     func(*sched.Task) time.Duration
+	up       func(engine int) bool
 	sig      []EngineSignal
 	last     time.Duration
 	fresh    bool
@@ -96,6 +105,13 @@ func (b *SignalBoard) Observe(now time.Duration) []EngineSignal {
 	return b.sig
 }
 
+// BindLiveness attaches an availability source (the fault injector):
+// refreshes stamp each snapshot's Down field from it, so availability
+// propagates to dispatch with exactly the staleness every other signal
+// has. Unbound (the churn-free default), every signal reports in
+// service.
+func (b *SignalBoard) BindLiveness(up func(engine int) bool) { b.up = up }
+
 // Refresh snapshots every engine's live state unconditionally and stamps
 // the board with now.
 func (b *SignalBoard) Refresh(now time.Duration) {
@@ -103,6 +119,9 @@ func (b *SignalBoard) Refresh(now time.Duration) {
 		b.sig[i].Outstanding = e.Outstanding()
 		if b.load != nil {
 			b.sig[i].Backlog = e.EstimatedBacklog(b.load)
+		}
+		if b.up != nil {
+			b.sig[i].Down = !b.up(i)
 		}
 	}
 	b.last = now

@@ -181,7 +181,14 @@ func AblationOverhead(opts Options) ([]Artifact, error) {
 			}
 			sjfR, dystaR = append(sjfR, a), append(dystaR, b)
 		}
-		sjf, dysta := sched.AverageResults(sjfR), sched.AverageResults(dystaR)
+		sjf, err := sched.AverageResults(sjfR)
+		if err != nil {
+			return nil, err
+		}
+		dysta, err := sched.AverageResults(dystaR)
+		if err != nil {
+			return nil, err
+		}
 		tbl.Rows = append(tbl.Rows, []string{
 			ov.String(),
 			fmt.Sprintf("%.2f", sjf.ANTT), fmt.Sprintf("%.1f", 100*sjf.ViolationRate),

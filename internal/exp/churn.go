@@ -1,0 +1,177 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"sparsedysta/internal/sched"
+	"sparsedysta/internal/workload"
+)
+
+// This file is the engine-churn experiment: the robustness study asking
+// what engine failures cost a cluster that was tuned assuming every
+// accelerator stays up, and how much of that cost recovery-driven
+// redistribution wins back. A failure destroys in-flight work (paid
+// again as a retry from layer zero), strands the backlog the dead engine
+// had accumulated, and — under a stale signal board — keeps attracting
+// new arrivals to the corpse until the next refresh. Work stealing is
+// the natural repair: a freshly recovered engine is exactly the idle
+// thief the Steal policy looks for, so it drains the outage backlog
+// instead of sitting empty while the survivors drown.
+
+// ChurnMTBFs is the failure-rate axis of the sweep: mean time between
+// failures per engine, from roughly one failure per stream up to near-
+// continuous churn (the request stream spans ~8 virtual seconds at the
+// experiment's operating point).
+var ChurnMTBFs = []time.Duration{
+	4 * time.Second,
+	2 * time.Second,
+	time.Second,
+}
+
+// ChurnMTTR is the mean down-time per failure. It is held fixed across
+// the sweep so the MTBF axis changes only how often engines die, not how
+// long each death lasts.
+const ChurnMTTR = 150 * time.Millisecond
+
+// ChurnStaleInterval is the signal staleness the churned cluster routes
+// under: long enough that a freshly dead engine keeps looking alive (and
+// attractive) to the dispatcher for many arrivals, forcing redirects.
+const ChurnStaleInterval = 20 * time.Millisecond
+
+// ChurnRetryMax caps per-request restart-from-zero retries in the
+// experiment; a request that loses its partial execution more often than
+// this is written off as lost work.
+const ChurnRetryMax = 4
+
+// churnRebalanceInterval and churnMigrationCost configure the steal
+// repair arm: rounds frequent enough to catch a recovery within a small
+// fraction of the mean outage, at the migration experiment's cost.
+const (
+	churnRebalanceInterval = 2 * time.Millisecond
+	churnMigrationCost     = 200 * time.Microsecond
+)
+
+// churnOpts returns the experiment's option block for one sweep cell.
+// MTBF 0 means the no-churn anchor.
+func churnOpts(base Options, mtbf, signals time.Duration, policy string) Options {
+	o := base
+	o.Engines = 4
+	o.EngineSpecs = nil
+	o.Dispatch = "load"
+	o.SignalInterval = signals
+	o.Rebalance = policy
+	if policy != "none" {
+		o.RebalanceInterval = churnRebalanceInterval
+		o.MigrationCost = churnMigrationCost
+	}
+	// The sweep owns the churn knobs outright — a CLI -churn override must
+	// not leak fault injection into the no-churn anchor cells.
+	o.Churn = mtbf > 0
+	o.MTBF = mtbf
+	o.MTTR = ChurnMTTR
+	o.RetryMax = ChurnRetryMax
+	return o
+}
+
+// EngineChurn is the fault-tolerance experiment: Dysta on a 4-engine
+// cluster behind sparsity-aware least-load dispatch, swept over failure
+// rate × rebalance policy × signal staleness, with the no-churn runs as
+// anchors. The headline comparison is at stale signals: churn opens an
+// SLO-violation gap over the no-churn anchor (lost progress is re-run,
+// outage backlogs queue behind redirected arrivals), and work stealing
+// closes most of it, because recovered engines re-enter empty and the
+// steal rounds immediately re-spread the survivors' backlog onto them.
+func EngineChurn(opts Options) ([]Artifact, error) {
+	const rate = 120.0 // the migration study's heavy-but-not-saturated point
+
+	p, err := NewPipeline(workload.MultiAttNN(), opts, 7)
+	if err != nil {
+		return nil, err
+	}
+	dysta := dystaOnly()
+
+	tbl := &Table{
+		ID: "engine-churn",
+		Title: fmt.Sprintf("Dysta + load dispatch at %.0f req/s under engine churn (MTTR %v)",
+			rate, ChurnMTTR),
+		Columns: []string{"mtbf", "signals", "rebalance",
+			"failovers", "retries", "redirects", "lost", "viol%", "ANTT", "throughput (inf/s)"},
+		Notes: []string{
+			fmt.Sprintf("signals: staleness of the router's engine snapshots (exact = 0, stale = %v)", ChurnStaleInterval),
+			fmt.Sprintf("retries restart from layer zero; each request is written off as lost after %d of them", ChurnRetryMax),
+			"failovers: queued requests re-dispatched off a dead engine; redirects: arrivals bounced off a stale dead pick",
+			fmt.Sprintf("steal arm rebalances every %v at %v per moved request", churnRebalanceInterval, churnMigrationCost),
+		},
+	}
+	xs := make([]float64, len(ChurnMTBFs))
+	for i, mtbf := range ChurnMTBFs {
+		xs[i] = float64(mtbf) / float64(time.Second)
+	}
+	viol := &Series{
+		ID:     "engine-churn",
+		Title:  "stale signals, SLO violation rate vs per-engine MTBF (anchor is flat)",
+		XLabel: "MTBF (s)",
+		YLabel: "SLO violation rate (%)",
+		X:      xs,
+		Lines:  map[string][]float64{},
+		Order:  []string{"no-churn/none", "churn/none", "churn/steal"},
+	}
+
+	type cell struct {
+		mtbf    time.Duration
+		signals time.Duration
+		sigName string
+		policy  string
+	}
+	run := func(c cell) (sched.Result, error) {
+		rs, err := p.RunPoint(dysta, rate, 10, churnOpts(opts, c.mtbf, c.signals, c.policy))
+		if err != nil {
+			return sched.Result{}, err
+		}
+		r := rs["Dysta"]
+		mtbfCell := "-"
+		if c.mtbf > 0 {
+			mtbfCell = c.mtbf.String()
+		}
+		tbl.Rows = append(tbl.Rows, []string{
+			mtbfCell, c.sigName, c.policy,
+			fmt.Sprintf("%d", r.Failovers),
+			fmt.Sprintf("%d", r.Retries),
+			fmt.Sprintf("%d", r.Redirects),
+			fmt.Sprintf("%d", r.LostWork),
+			fmt.Sprintf("%.1f", 100*r.ViolationRate),
+			fmt.Sprintf("%.2f", r.ANTT),
+			fmt.Sprintf("%.1f", r.Throughput),
+		})
+		return r, nil
+	}
+
+	for _, sig := range []struct {
+		iv   time.Duration
+		name string
+	}{{0, "exact"}, {ChurnStaleInterval, "stale"}} {
+		anchor, err := run(cell{0, sig.iv, sig.name, "none"})
+		if err != nil {
+			return nil, err
+		}
+		if sig.iv > 0 {
+			for range ChurnMTBFs {
+				viol.Lines["no-churn/none"] = append(viol.Lines["no-churn/none"], 100*anchor.ViolationRate)
+			}
+		}
+		for _, mtbf := range ChurnMTBFs {
+			for _, policy := range []string{"none", "steal"} {
+				r, err := run(cell{mtbf, sig.iv, sig.name, policy})
+				if err != nil {
+					return nil, err
+				}
+				if sig.iv > 0 {
+					line := "churn/" + policy
+					viol.Lines[line] = append(viol.Lines[line], 100*r.ViolationRate)
+				}
+			}
+		}
+	}
+	return []Artifact{tbl, viol}, nil
+}

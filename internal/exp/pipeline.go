@@ -71,6 +71,20 @@ type Options struct {
 	// MigrationBudget caps total migrations per run (0 = no cap beyond
 	// the built-in once-per-request rule).
 	MigrationBudget int
+	// Churn enables deterministic fault injection: every engine
+	// alternates exponential up/down phases (mean MTBF / MTTR), with the
+	// whole fail/recover schedule derived per cell from the seed index,
+	// so results stay bit-identical across -workers. Setting it routes
+	// runs through the cluster layer even on one engine.
+	Churn bool
+	// MTBF and MTTR are the mean time between failures and mean time to
+	// repair of the churn generator, in virtual time. Both must be
+	// positive when Churn is set.
+	MTBF, MTTR time.Duration
+	// RetryMax caps restart-from-zero retries per request after a
+	// failure destroys its partial execution; past the cap the request
+	// is counted as LostWork. 0 means retry without limit.
+	RetryMax int
 }
 
 // DefaultOptions returns the paper-scale protocol.

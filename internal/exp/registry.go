@@ -39,6 +39,7 @@ var registry = map[string]Runner{
 	"stale-signals": StaleSignals,
 	"hetero-scale":  HeteroScale,
 	"migration":     Migration,
+	"engine-churn":  EngineChurn,
 }
 
 // order is the presentation order of the paper artefacts.
@@ -64,7 +65,7 @@ func AblationIDs() []string {
 }
 
 // scale lists the beyond-the-paper scaling studies.
-var scale = []string{"scale-engines", "stale-signals", "hetero-scale", "migration"}
+var scale = []string{"scale-engines", "stale-signals", "hetero-scale", "migration", "engine-churn"}
 
 // ScaleIDs returns the scaling-study experiment ids.
 func ScaleIDs() []string { return append([]string(nil), scale...) }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"sparsedysta/internal/cluster"
 	"sparsedysta/internal/sched"
@@ -37,6 +38,11 @@ type PointResult struct {
 // the sequential and parallel paths (the paper's five-seed protocol).
 func cellSeed(seed int) uint64 { return uint64(1000*seed) + 17 }
 
+// churnSeed derives the fault-injection seed for one seed index. It is
+// deliberately offset from cellSeed so the failure schedule is not
+// correlated with the arrival stream of the same cell.
+func churnSeed(seed int) uint64 { return uint64(1000*seed) + 29 }
+
 // runCell executes one simulation cell: generate the request stream for
 // the seed index and run one fresh scheduler instance over it.
 func (p *Pipeline) runCell(spec SchedSpec, pt Point, seed int, opts Options) (sched.Result, error) {
@@ -58,7 +64,7 @@ func (p *Pipeline) runCell(spec SchedSpec, pt Point, seed int, opts Options) (sc
 	// silently ignored.
 	clustered := opts.Engines > 1 || len(opts.EngineSpecs) > 0 ||
 		opts.SignalInterval > 0 || (opts.Admission != "" && opts.Admission != "none") ||
-		(opts.Rebalance != "" && opts.Rebalance != "none")
+		(opts.Rebalance != "" && opts.Rebalance != "none") || opts.Churn
 	if clustered {
 		d, err := NewDispatcher(opts.Dispatch, p)
 		if err != nil {
@@ -91,6 +97,24 @@ func (p *Pipeline) runCell(spec SchedSpec, pt Point, seed int, opts Options) (sc
 			// Admission/staleness on the default single accelerator.
 			cfg.Engines = 1
 			engines = 1
+		}
+		if opts.Churn {
+			// The fail/recover schedule is a pure function of the seed
+			// index, the engine count, and the operating point — never of
+			// worker scheduling — so churned grids stay bit-identical for
+			// any -workers. The horizon covers twice the expected stream
+			// span so late arrivals still see churn through the drain.
+			if opts.MTBF <= 0 || opts.MTTR <= 0 {
+				return sched.Result{}, fmt.Errorf(
+					"exp: churn needs positive MTBF and MTTR (got %v, %v)", opts.MTBF, opts.MTTR)
+			}
+			horizon := time.Duration(2 * float64(opts.Requests) / pt.Rate * float64(time.Second))
+			plan, err := cluster.GenChurn(engines, horizon, opts.MTBF, opts.MTTR, churnSeed(seed))
+			if err != nil {
+				return sched.Result{}, fmt.Errorf("exp: generating churn plan: %w", err)
+			}
+			cfg.Churn = &plan
+			cfg.RetryMax = opts.RetryMax
 		}
 		cres, err := cluster.Run(func(int) sched.Scheduler { return spec.New(p) }, reqs, cfg)
 		if err != nil {
@@ -197,7 +221,10 @@ func (p *Pipeline) RunGrid(specs []SchedSpec, points []Point, opts Options) ([]P
 	for pi, pt := range points {
 		m := make(map[string]sched.Result, len(specs))
 		for si, spec := range specs {
-			avg := sched.AverageResults(results[pi][si])
+			avg, err := sched.AverageResults(results[pi][si])
+			if err != nil {
+				return nil, fmt.Errorf("exp: %s at point %d: %w", spec.Name, pi, err)
+			}
 			avg.Scheduler = spec.Name
 			m[spec.Name] = avg
 		}

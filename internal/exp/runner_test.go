@@ -30,7 +30,10 @@ func TestParallelRunnerMatchesSequential(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		avg := sched.AverageResults(rs)
+		avg, err := sched.AverageResults(rs)
+		if err != nil {
+			t.Fatal(err)
+		}
 		avg.Scheduler = spec.Name
 		want[spec.Name] = avg
 	}

@@ -163,6 +163,62 @@ func (e *Engine) Extract(id int) (*Task, error) {
 	return nil, fmt.Errorf("sched: Extract: no queued request %d", id)
 }
 
+// Crash force-removes every outstanding request from the engine at a
+// failure instant, the sched-layer surface of cluster fault injection.
+// Queued-but-never-started requests (delivered or still pending) come
+// back intact in `queued`, ready for Adopt on a surviving engine exactly
+// like a migration extract. Started requests come back in `started` with
+// their partial execution still recorded; their activations died with
+// the accelerator, so the only way forward is Task.Restart (discard all
+// progress, increment the attempt counter) followed by Adopt, or
+// counting them as lost work. Both slices are in ascending task-ID order.
+//
+// Unlike Extract, Crash does not consult the scheduler: a crashed
+// engine's scheduler instance is dead state — the orchestrator must seal
+// this engine (Finish) and build a fresh Engine + scheduler for the slot
+// if the hardware recovers. To keep the departing tasks adoptable, Crash
+// scrubs the scheduler-facing state it cannot hand over (Attachment,
+// heap index) itself. Crashing a finished engine is an error; crashing
+// an idle engine returns two empty slices.
+func (e *Engine) Crash(now time.Duration) (queued, started []*Task, err error) {
+	if e.finished {
+		return nil, nil, fmt.Errorf("sched: Crash after Finish")
+	}
+	for len(e.pending.entries) > 0 {
+		t := e.pending.entries[0].t
+		e.pending.removeAt(0)
+		t.Attachment = nil
+		t.heapIndex = -1
+		queued = append(queued, t)
+	}
+	for _, t := range append([]*Task(nil), e.ready.Tasks()...) {
+		e.ready.remove(t)
+		t.Attachment = nil
+		t.heapIndex = -1
+		if t.NextLayer == 0 {
+			queued = append(queued, t)
+		} else {
+			started = append(started, t)
+		}
+	}
+	e.injected -= len(queued) + len(started)
+	e.last = nil
+	// The departed requests must not anchor this incarnation's makespan;
+	// only completed work remains, so re-seed firstArrival from it.
+	if len(e.done) > 0 {
+		first := e.done[0].Arrival
+		for _, d := range e.done {
+			if d.Arrival < first {
+				first = d.Arrival
+			}
+		}
+		e.firstArrival = first
+	}
+	sort.Slice(queued, func(i, j int) bool { return queued[i].ID < queued[j].ID })
+	sort.Slice(started, func(i, j int) bool { return started[i].ID < started[j].ID })
+	return queued, started, nil
+}
+
 // forgetArrival repairs firstArrival after an extraction: a departed
 // request must not anchor this engine's makespan (the window it defines
 // is served elsewhere). Only needed when the extracted task was the
@@ -403,7 +459,8 @@ func (e *Engine) Step() (time.Duration, error) {
 // counts the outstanding ones so the truncation is never silent.
 func (e *Engine) Finish() Result {
 	e.finished = true
-	res := Result{Scheduler: e.s.Name(), Dropped: e.injected - len(e.done)}
+	res := Result{Scheduler: e.s.Name(), Dropped: e.injected - len(e.done),
+		Offered: e.injected}
 	if len(e.done) == 0 {
 		return res
 	}
@@ -420,6 +477,7 @@ func (e *Engine) Finish() Result {
 			lastDone = t.Completion
 		}
 	}
+	res.Violations = violations
 	res.ViolationRate = float64(violations) / float64(len(e.done))
 	res.MeanLatency = time.Duration(stats.Mean(e.latencies))
 	res.P99Latency = time.Duration(stats.Percentile(e.latencies, 99))

@@ -221,7 +221,7 @@ func TestAverageResults(t *testing.T) {
 		{Scheduler: "x", ANTT: 3, ViolationRate: 0.4, Throughput: 20,
 			MeanLatency: 30 * time.Millisecond, Requests: 100},
 	}
-	avg := AverageResults(rs)
+	avg := mustAverage(t, rs)
 	if avg.ANTT != 2 || math.Abs(avg.ViolationRate-0.3) > 1e-12 || avg.Throughput != 15 {
 		t.Errorf("averages wrong: %+v", avg)
 	}
@@ -231,7 +231,7 @@ func TestAverageResults(t *testing.T) {
 	if avg.Requests != 100 {
 		t.Errorf("Requests = %d", avg.Requests)
 	}
-	if AverageResults(nil).Scheduler != "" {
+	if empty := mustAverage(t, nil); empty.Scheduler != "" {
 		t.Error("empty average not zero")
 	}
 }

@@ -238,7 +238,7 @@ func TestExtractRepairsFirstArrival(t *testing.T) {
 // TestAverageResultsMigrationInvariant: seed averaging must preserve
 // wins + losses == migrations even when independent rounding would not.
 func TestAverageResultsMigrationInvariant(t *testing.T) {
-	avg := AverageResults([]Result{
+	avg := mustAverage(t, []Result{
 		{Migrations: 1, MigrationWins: 1, MigrationLosses: 0},
 		{Migrations: 1, MigrationWins: 0, MigrationLosses: 1},
 	})

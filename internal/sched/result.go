@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"fmt"
 	"math"
 	"time"
 
@@ -45,6 +46,32 @@ type Result struct {
 	// violation rate cover admitted requests only, which is why Goodput —
 	// not ViolationRate — is the headline metric under admission control.
 	Rejected int
+	// Offered is the total number of requests that entered the system:
+	// Engine.Finish sets it to the injected count, cluster.Run to the
+	// full stream length (admitted + rejected). Every offered request
+	// must land in exactly one outcome class — SLO-met completion,
+	// violated completion, Rejected, LostWork, or Dropped — which is the
+	// conservation law AverageResults enforces. Zero marks a Result that
+	// predates the accounting (hand-built fixtures); the check skips it.
+	Offered int
+	// Violations is the number of completed requests that missed their
+	// deadline — the integer behind ViolationRate, carried so the
+	// outcome classes add up exactly (Requests - Violations is the
+	// SLO-met completion count behind Goodput).
+	Violations int
+	// LostWork counts admitted requests that never completed because
+	// engine failures destroyed them past the retry budget (or no engine
+	// ever came back to serve them). They appear in no latency metric —
+	// like Rejected, they are a terminal outcome class of their own.
+	LostWork int
+	// Failovers counts queued-but-never-started requests force-extracted
+	// from a failing or draining engine and redistributed to a live one;
+	// Retries counts restart-from-zero re-injections of requests whose
+	// partial execution a failure destroyed; Redirects counts dispatch
+	// decisions that landed on a dead engine (the router's signals were
+	// stale) and had to bounce to a live one. All are dispatch-layer
+	// counters carried here so they survive the seed-averaging pipeline.
+	Failovers, Retries, Redirects int
 	// Migrations counts requests moved between engines by the cluster
 	// rebalancer (internal/cluster work stealing / shedding); zero on
 	// every single-engine run. MigrationWins and MigrationLosses split
@@ -86,6 +113,28 @@ type TaskOutcome struct {
 	Violated bool
 }
 
+// CheckOutcomeConservation verifies the outcome accounting of one run:
+// every offered request must land in exactly one terminal class, so
+// Offered == (Requests - Violations) + Violations + Rejected + LostWork
+// + Dropped, where Requests - Violations is the SLO-met completion count
+// behind Goodput. A Result with Offered == 0 predates the accounting (or
+// is empty) and passes vacuously. The check catches silent metric drift
+// as new outcome classes appear: a class added to the simulation but not
+// to this identity fails every run that exercises it.
+func CheckOutcomeConservation(r Result) error {
+	if r.Offered == 0 {
+		return nil
+	}
+	goodput := r.Requests - r.Violations
+	accounted := goodput + r.Violations + r.Rejected + r.LostWork + r.Dropped
+	if r.Offered != accounted {
+		return fmt.Errorf(
+			"sched: outcome classes do not conserve requests: offered %d != %d accounted (goodput %d + violations %d + rejected %d + lost %d + dropped %d)",
+			r.Offered, accounted, goodput, r.Violations, r.Rejected, r.LostWork, r.Dropped)
+	}
+	return nil
+}
+
 // AverageResults averages the metric fields of per-seed results of the
 // same scheduler, the paper's five-seed reporting protocol (§6.1).
 // Scheduler is taken from the first result carrying a name. The integer
@@ -95,13 +144,21 @@ type TaskOutcome struct {
 // Timeline and Tasks are intentionally dropped: per-seed schedules have
 // no meaningful average, so callers wanting them must read the individual
 // per-seed Results.
-func AverageResults(rs []Result) Result {
+//
+// Every input is checked against CheckOutcomeConservation — a mismatch
+// returns an error instead of silently averaging drifted metrics. The
+// averaged output re-derives Offered from its own rounded classes so the
+// identity survives the independent roundings.
+func AverageResults(rs []Result) (Result, error) {
 	if len(rs) == 0 {
-		return Result{}
+		return Result{}, nil
 	}
 	avg := Result{}
 	var meanLat, p99Lat, makespan float64
 	for _, r := range rs {
+		if err := CheckOutcomeConservation(r); err != nil {
+			return Result{}, err
+		}
 		if avg.Scheduler == "" {
 			avg.Scheduler = r.Scheduler
 		}
@@ -113,9 +170,15 @@ func AverageResults(rs []Result) Result {
 		avg.Requests += r.Requests
 		avg.Dropped += r.Dropped
 		avg.Rejected += r.Rejected
+		avg.Offered += r.Offered
 		avg.Migrations += r.Migrations
 		avg.MigrationWins += r.MigrationWins
 		avg.MigrationLosses += r.MigrationLosses
+		avg.Violations += r.Violations
+		avg.LostWork += r.LostWork
+		avg.Failovers += r.Failovers
+		avg.Retries += r.Retries
+		avg.Redirects += r.Redirects
 		meanLat += float64(r.MeanLatency)
 		p99Lat += float64(r.P99Latency)
 		makespan += float64(r.Makespan)
@@ -155,10 +218,22 @@ func AverageResults(rs []Result) Result {
 	// monotone and wins <= migrations per run, so this never goes
 	// negative.
 	avg.MigrationLosses = avg.Migrations - avg.MigrationWins
+	avg.Violations = int(math.Round(float64(avg.Violations) / n))
+	avg.LostWork = int(math.Round(float64(avg.LostWork) / n))
+	avg.Failovers = int(math.Round(float64(avg.Failovers) / n))
+	avg.Retries = int(math.Round(float64(avg.Retries) / n))
+	avg.Redirects = int(math.Round(float64(avg.Redirects) / n))
+	// Re-derive Offered from the rounded classes (only when the inputs
+	// carried the accounting at all), so the conservation identity that
+	// held per input also holds on the average despite each class
+	// rounding independently.
+	if avg.Offered > 0 {
+		avg.Offered = avg.Requests + avg.Rejected + avg.LostWork + avg.Dropped
+	}
 	avg.MeanLatency = time.Duration(meanLat / n)
 	avg.P99Latency = time.Duration(p99Lat / n)
 	avg.Makespan = time.Duration(makespan / n)
-	return avg
+	return avg, nil
 }
 
 // SeedSpread summarizes per-seed variability of the two headline metrics:

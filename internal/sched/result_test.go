@@ -2,9 +2,21 @@ package sched
 
 import (
 	"math"
+	"strings"
 	"testing"
 	"time"
 )
+
+// mustAverage averages results that are expected to pass the outcome
+// conservation check.
+func mustAverage(t *testing.T, rs []Result) Result {
+	t.Helper()
+	avg, err := AverageResults(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return avg
+}
 
 // TestAverageResultsPerModelWeighted pins the request-weighted per-model
 // math: a seed with three times the requests of another must pull the
@@ -21,7 +33,7 @@ func TestAverageResultsPerModelWeighted(t *testing.T) {
 			// first seed's weight.
 		}},
 	}
-	avg := AverageResults(rs)
+	avg := mustAverage(t, rs)
 	bert := avg.PerModel["bert"]
 	if bert.Requests != 40 {
 		t.Errorf("bert requests = %d, want 40", bert.Requests)
@@ -46,7 +58,7 @@ func TestAverageResultsRounding(t *testing.T) {
 		{Scheduler: "x", Preemptions: 10, Requests: 100},
 		{Scheduler: "x", Preemptions: 11, Requests: 101},
 	}
-	avg := AverageResults(rs)
+	avg := mustAverage(t, rs)
 	if avg.Preemptions != 11 { // 10.5 rounds up, not down to 10
 		t.Errorf("Preemptions = %d, want 11", avg.Preemptions)
 	}
@@ -63,7 +75,7 @@ func TestAverageResultsEmptyPerModel(t *testing.T) {
 		{ANTT: 1},
 		{Scheduler: "late-name", ANTT: 3},
 	}
-	avg := AverageResults(rs)
+	avg := mustAverage(t, rs)
 	if avg.PerModel != nil {
 		t.Errorf("PerModel allocated with no per-model inputs: %+v", avg.PerModel)
 	}
@@ -83,9 +95,44 @@ func TestAverageResultsDropsScheduleRecords(t *testing.T) {
 		{Scheduler: "x", Timeline: &Timeline{}, Tasks: []TaskOutcome{{ID: 1}}},
 		{Scheduler: "x", Timeline: &Timeline{}, Tasks: []TaskOutcome{{ID: 2}}},
 	}
-	avg := AverageResults(rs)
+	avg := mustAverage(t, rs)
 	if avg.Timeline != nil || avg.Tasks != nil {
 		t.Error("averaging retained Timeline or Tasks")
+	}
+}
+
+// TestAverageResultsOutcomeConservation: a result whose outcome classes
+// drift out of conservation (every offered request must land in exactly
+// one of goodput, violations, rejected, lost work, dropped) is a
+// simulator bug, and AverageResults must refuse it instead of averaging
+// the corruption away.
+func TestAverageResultsOutcomeConservation(t *testing.T) {
+	good := Result{Scheduler: "x",
+		Offered: 10, Requests: 7, Violations: 2, Rejected: 2, LostWork: 1}
+	if _, err := AverageResults([]Result{good}); err != nil {
+		t.Fatalf("conserving result rejected: %v", err)
+	}
+	bad := good
+	bad.LostWork = 0 // one request now unaccounted for
+	_, err := AverageResults([]Result{good, bad})
+	if err == nil {
+		t.Fatal("drifted outcome classes accepted")
+	}
+	if !strings.Contains(err.Error(), "conserve") {
+		t.Errorf("error does not name the conservation failure: %v", err)
+	}
+	// Legacy results that predate the Offered counter are exempt: the
+	// check cannot apply without knowing the offered load.
+	legacy := Result{Scheduler: "x", Requests: 5, Rejected: 3}
+	if _, err := AverageResults([]Result{legacy}); err != nil {
+		t.Errorf("legacy result without Offered rejected: %v", err)
+	}
+	// The averaged result must itself conserve: Offered is re-derived
+	// from the rounded integer classes rather than rounded independently.
+	avg := mustAverage(t, []Result{good, {Scheduler: "x",
+		Offered: 11, Requests: 8, Violations: 2, Rejected: 2, LostWork: 1}})
+	if err := CheckOutcomeConservation(avg); err != nil {
+		t.Errorf("averaged result does not conserve: %v", err)
 	}
 }
 

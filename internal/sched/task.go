@@ -31,6 +31,12 @@ type Task struct {
 	Completion time.Duration
 	// Done reports whether every layer has executed.
 	Done bool
+	// Attempts counts how many times the request was restarted from
+	// scratch after an engine failure destroyed its partial execution
+	// (zero for a request that never lost work). The cluster's retry
+	// policy bounds it: a request whose engine dies with Attempts already
+	// at the retry cap becomes lost work instead of restarting again.
+	Attempts int
 	// Attachment is a scheduler-private per-task state slot: schedulers
 	// set it in OnArrival and read it back at every scheduling point,
 	// replacing the per-pick map lookups the baselines used to do. Exactly
@@ -84,6 +90,28 @@ func (t *Task) SinceLastRun(now time.Duration) time.Duration {
 		return 0
 	}
 	return w
+}
+
+// Restart rewinds a task that lost its partial execution to an engine
+// failure back to the never-started state, for re-injection (Adopt) on a
+// surviving engine: progress, accrued accelerator time and scheduler
+// attachments are discarded (restart-from-zero — the activations died
+// with the accelerator), the attempt counter increments, and identity,
+// arrival and SLO are preserved so turnaround metrics keep measuring
+// from the original arrival. The retry pays for the failure in its own
+// latency, never by rewriting history. Restarting a completed task is a
+// caller bug; the cluster only restarts tasks ripped from a crashed
+// engine, which are never Done.
+func (t *Task) Restart() {
+	t.NextLayer = 0
+	t.ExecTime = 0
+	t.LastRun = t.Arrival
+	t.Completion = 0
+	t.Done = false
+	t.Attempts++
+	t.Attachment = nil
+	t.trueRemaining = t.trueTotal
+	t.queueIndex, t.heapIndex = -1, -1
 }
 
 // Violated reports whether the task finished past its deadline (or, if
