@@ -18,6 +18,7 @@ import (
 	"sparsedysta/internal/sched"
 	"sparsedysta/internal/sparsity"
 	"sparsedysta/internal/trace"
+	"sparsedysta/internal/traffic"
 	"sparsedysta/internal/workload"
 )
 
@@ -202,8 +203,49 @@ func BenchmarkClusterChurn(b *testing.B) {
 	}
 }
 
+// BenchmarkClusterAutoscale measures the autoscaling hot path: a bursty
+// (MMPP) 500-request stream on 4 engines behind stale load-aware
+// dispatch with the SLO-derived autoscaler cycling the live set — the
+// configuration that exercises per-refresh policy evaluation, drainNow/
+// joinNow transitions and in-service span accounting on top of
+// BenchmarkClusterDysta's baseline.
+func BenchmarkClusterAutoscale(b *testing.B) {
+	lut, _ := benchWorkload(b)
+	est := sched.NewEstimator(lut)
+	load := cluster.SparsityAwareLoad(lut, est)
+	sc := workload.MultiAttNN()
+	_, eval, err := workload.BuildStores(sc, 30, 100, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reqs, err := workload.Generate(sc, eval, workload.GenConfig{
+		Requests: 500, RatePerSec: 66, SLOMultiplier: 10, Seed: 1,
+		Process: traffic.Bursty(66, 8, 0.2, 300*time.Millisecond)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pol := exp.NewAutoscaler(reqs, 1, 4, load)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := cluster.NewLeastLoad("load", load)
+		if _, err := cluster.Run(func(int) sched.Scheduler { return core.NewDefault(lut) }, reqs,
+			cluster.Config{
+				Engines:        4,
+				Dispatch:       d,
+				SignalInterval: 5 * time.Millisecond,
+				Autoscale:      pol,
+			}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkScaleEngines regenerates the scale-engines experiment.
 func BenchmarkScaleEngines(b *testing.B) { runExp(b, "scale-engines") }
+
+// BenchmarkAutoscale regenerates the autoscale frontier experiment.
+func BenchmarkAutoscale(b *testing.B) { runExp(b, "autoscale") }
 
 // BenchmarkPredictor measures one Observe+Remaining predictor step.
 func BenchmarkPredictor(b *testing.B) {

@@ -44,6 +44,11 @@ func main() {
 		mtbf      = flag.Duration("mtbf", time.Second, "mean virtual time between failures per engine (with -churn)")
 		mttr      = flag.Duration("mttr", 100*time.Millisecond, "mean virtual down-time per failure (with -churn)")
 		retryMax  = flag.Int("retry-max", 0, "max restart-from-zero retries per request after a failure (0 = unlimited, with -churn)")
+		traffic   = flag.String("traffic", "", "override the arrival process: poisson, mmpp, diurnal, replay:PATH (empty = per-experiment default)")
+		burst     = flag.Float64("burst", 0, "mmpp burst-to-quiet rate ratio (0 = default 8, with -traffic mmpp)")
+		autoscale = flag.Bool("autoscale", false, "scale the live engine set between -scale-min and -scale-max with the SLO-driven policy")
+		scaleMin  = flag.Int("scale-min", 0, "autoscaler lower bound on live engines (0 = 1, with -autoscale)")
+		scaleMax  = flag.Int("scale-max", 0, "autoscaler upper bound on live engines (0 = cluster size, with -autoscale)")
 		outDir    = flag.String("out", "", "also write each experiment's output to <dir>/<id>.txt")
 		benchJSON = flag.Bool("json", false,
 			"run the hot-path micro-benchmarks and write BENCH_<date>.json (to -out dir, or cwd)")
@@ -152,6 +157,17 @@ func main() {
 		opts.MTBF = *mtbf
 		opts.MTTR = *mttr
 		opts.RetryMax = *retryMax
+	}
+	opts.Traffic = *traffic
+	opts.Burst = *burst
+	opts.Autoscale = *autoscale
+	opts.ScaleMin = *scaleMin
+	opts.ScaleMax = *scaleMax
+	// Traffic/autoscaler flags that only make sense together (e.g. -burst
+	// without -traffic mmpp, -scale-min above -scale-max) fail here.
+	if err := opts.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
 
 	ids := []string{*expID}

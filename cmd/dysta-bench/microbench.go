@@ -14,6 +14,7 @@ import (
 	"sparsedysta/internal/sched"
 	"sparsedysta/internal/sparsity"
 	"sparsedysta/internal/trace"
+	"sparsedysta/internal/traffic"
 	"sparsedysta/internal/workload"
 )
 
@@ -43,28 +44,30 @@ type BenchReport struct {
 }
 
 // microWorkload builds the shared AttNN pipeline and request stream
-// (mirrors the fixture of the root bench_test.go micro-benchmarks).
-func microWorkload() (*trace.StatsSet, []*workload.Request, error) {
+// (mirrors the fixture of the root bench_test.go micro-benchmarks). The
+// eval store is returned too so benches with their own arrival process
+// (ClusterAutoscale) can sample fresh streams from the same trace pool.
+func microWorkload() (*trace.StatsSet, *trace.Store, []*workload.Request, error) {
 	sc := workload.MultiAttNN()
 	prof, eval, err := workload.BuildStores(sc, 30, 100, 1)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	lut, err := trace.NewStatsSet(prof)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	reqs, err := workload.Generate(sc, eval, workload.GenConfig{
 		Requests: 500, RatePerSec: 30, SLOMultiplier: 10, Seed: 1})
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	return lut, reqs, nil
+	return lut, eval, reqs, nil
 }
 
 // runMicroBenchmarks executes the hot-path suite and returns the records.
 func runMicroBenchmarks() ([]BenchRecord, error) {
-	lut, reqs, err := microWorkload()
+	lut, evalStore, reqs, err := microWorkload()
 	if err != nil {
 		return nil, err
 	}
@@ -162,6 +165,35 @@ func runMicroBenchmarks() ([]BenchRecord, error) {
 						SignalInterval: 20 * time.Millisecond,
 						Churn:          &plan,
 						RetryMax:       4,
+					}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"ClusterAutoscale", func(b *testing.B) {
+			// The autoscaling hot path: a bursty (MMPP) stream with the
+			// SLO-derived policy cycling the live set — per-refresh
+			// evaluation, drain/join transitions and in-service billing on
+			// top of the ClusterDysta configuration. New entry, so the CI
+			// bench gate picks it up once both compared files carry it.
+			load := cluster.SparsityAwareLoad(lut, est)
+			burstyReqs, err := workload.Generate(workload.MultiAttNN(), evalStore, workload.GenConfig{
+				Requests: 500, RatePerSec: 66, SLOMultiplier: 10, Seed: 1,
+				Process: traffic.Bursty(66, 8, 0.2, 300*time.Millisecond)})
+			if err != nil {
+				b.Fatal(err)
+			}
+			pol := exp.NewAutoscaler(burstyReqs, 1, 4, load)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d := cluster.NewLeastLoad("load", load)
+				if _, err := cluster.Run(func(int) sched.Scheduler { return core.NewDefault(lut) },
+					burstyReqs, cluster.Config{
+						Engines:        4,
+						Dispatch:       d,
+						SignalInterval: 5 * time.Millisecond,
+						Autoscale:      pol,
 					}); err != nil {
 					b.Fatal(err)
 				}

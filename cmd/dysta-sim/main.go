@@ -58,6 +58,11 @@ func main() {
 		mtbf     = flag.Duration("mtbf", time.Second, "mean virtual time between failures per engine (with -churn)")
 		mttr     = flag.Duration("mttr", 100*time.Millisecond, "mean virtual down-time per failure (with -churn)")
 		retryMax = flag.Int("retry-max", 0, "max restart-from-zero retries per request after a failure destroys its progress; past the cap it counts as lost work (0 = unlimited, with -churn)")
+		trafArg  = flag.String("traffic", "", "arrival process: poisson (default), mmpp (bursty), diurnal (day/night rate curve), replay:PATH (recorded arrivals CSV)")
+		burst    = flag.Float64("burst", 0, "mmpp burst-to-quiet rate ratio (0 = default 8, with -traffic mmpp)")
+		autoscl  = flag.Bool("autoscale", false, "scale the live engine set between -scale-min and -scale-max with the SLO-driven policy (drains idle engines, re-joins them under load)")
+		scaleMin = flag.Int("scale-min", 0, "autoscaler lower bound on live engines (0 = 1, with -autoscale)")
+		scaleMax = flag.Int("scale-max", 0, "autoscaler upper bound on live engines (0 = cluster size, with -autoscale)")
 		eta      = flag.Float64("eta", core.DefaultConfig().Eta, "Dysta eta (dynamic slack weight)")
 		beta     = flag.Float64("beta", core.DefaultConfig().Beta, "Dysta beta (static slack weight)")
 		dumpSpec = flag.Bool("dump-spec", false, "print the selected scenario as a JSON spec and exit")
@@ -153,6 +158,18 @@ func main() {
 		MTBF:              *mtbf,
 		MTTR:              *mttr,
 		RetryMax:          *retryMax,
+		Traffic:           *trafArg,
+		Burst:             *burst,
+		Autoscale:         *autoscl,
+		ScaleMin:          *scaleMin,
+		ScaleMax:          *scaleMax,
+	}
+	// Traffic/autoscaler flags that only make sense together (e.g. -burst
+	// without -traffic mmpp, -scale-min above -scale-max, bounds exceeding
+	// the -engines cluster) fail here.
+	if err := opts.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
 	p, err := exp.NewPipeline(sc, opts, 7)
 	if err != nil {
@@ -206,6 +223,29 @@ func main() {
 	if *churn {
 		fmt.Printf("  churn mtbf %v mttr %v retry-max %d", *mtbf, *mttr, *retryMax)
 	}
+	if *trafArg != "" {
+		fmt.Printf("  traffic %s", *trafArg)
+		if *trafArg == "mmpp" {
+			b := *burst
+			if b == 0 {
+				b = exp.DefaultBurst
+			}
+			fmt.Printf(" (burst %gx)", b)
+		}
+	}
+	if *autoscl {
+		min, max := *scaleMin, *scaleMax
+		if min == 0 {
+			min = 1
+		}
+		if max == 0 {
+			max = nEngines
+			if len(engineSpecs) > 0 {
+				max = len(engineSpecs)
+			}
+		}
+		fmt.Printf("  autoscale %d..%d engines", min, max)
+	}
 	fmt.Print("\n\n")
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	header := "scheduler\tANTT\tviol%\tthroughput\tgoodput\trejected\tmean lat\tp99 lat\tpreemptions"
@@ -214,6 +254,9 @@ func main() {
 	}
 	if *churn {
 		header += "\tfailovers\tretries\tredirects\tlost"
+	}
+	if *autoscl {
+		header += "\tengine-s\tups\tdowns"
 	}
 	fmt.Fprintln(tw, header)
 	for _, s := range specs {
@@ -227,6 +270,9 @@ func main() {
 		}
 		if *churn {
 			fmt.Fprintf(tw, "\t%d\t%d\t%d\t%d", r.Failovers, r.Retries, r.Redirects, r.LostWork)
+		}
+		if *autoscl {
+			fmt.Fprintf(tw, "\t%.2f\t%d\t%d", r.EngineSeconds, r.ScaleUps, r.ScaleDowns)
 		}
 		fmt.Fprintln(tw)
 	}

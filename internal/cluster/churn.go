@@ -234,6 +234,20 @@ type faultInjector struct {
 	// priorBusy accumulates crashed incarnations' busy time per slot for
 	// the utilization metrics.
 	priorBusy []time.Duration
+	// serviceStart and serviceTime track each slot's in-service spans:
+	// serviceStart[i] is when the slot last entered stateHealthy,
+	// serviceTime[i] the total healthy time of closed spans. Together
+	// with closeService they yield the EngineSeconds cost metric and the
+	// live-set utilization denominators. Draining tails (a slot finishing
+	// its queue after leaving rotation) are deliberately not billed: the
+	// autoscaler drains idle-ish engines, so the tail is small, and
+	// billing stops when the operator stops routing to the slot.
+	serviceStart []time.Duration
+	serviceTime  []time.Duration
+	// lastInstant is the latest transition instant seen, a floor for the
+	// end-of-run span close (an action can postdate the last engine
+	// event).
+	lastInstant time.Duration
 
 	// Counters surfaced on the cluster Result.
 	failovers int // queued requests moved off a dead engine
@@ -259,17 +273,19 @@ func newFaultInjector(plan *ChurnPlan, engines []*sched.Engine, specs []EngineSp
 	p := ChurnPlan{Events: events}
 	p.sort()
 	fi := &faultInjector{
-		plan:      p.Events,
-		state:     make([]engineState, len(engines)),
-		engines:   engines,
-		specs:     specs,
-		newSched:  newSched,
-		board:     board,
-		dispatch:  dispatch,
-		reqByID:   make(map[int]*workload.Request, len(reqs)),
-		cost:      cost,
-		retryMax:  retryMax,
-		priorBusy: make([]time.Duration, len(engines)),
+		plan:         p.Events,
+		state:        make([]engineState, len(engines)),
+		engines:      engines,
+		specs:        specs,
+		newSched:     newSched,
+		board:        board,
+		dispatch:     dispatch,
+		reqByID:      make(map[int]*workload.Request, len(reqs)),
+		cost:         cost,
+		retryMax:     retryMax,
+		priorBusy:    make([]time.Duration, len(engines)),
+		serviceStart: make([]time.Duration, len(engines)),
+		serviceTime:  make([]time.Duration, len(engines)),
 	}
 	for _, r := range reqs {
 		fi.reqByID[r.ID] = r
@@ -283,6 +299,46 @@ func newFaultInjector(plan *ChurnPlan, engines []*sched.Engine, specs []EngineSp
 // engines are down for placement purposes: they finish what they hold
 // but take nothing new.
 func (fi *faultInjector) up(i int) bool { return fi.state[i] == stateHealthy }
+
+// setState performs a lifecycle transition at instant `at`, closing or
+// opening the slot's in-service span as it crosses the healthy boundary.
+// Every transition — plan events, crashes, autoscaler actions — goes
+// through here, so the service-time books cannot drift from the states.
+func (fi *faultInjector) setState(i int, s engineState, at time.Duration) {
+	if at > fi.lastInstant {
+		fi.lastInstant = at
+	}
+	was, is := fi.state[i] == stateHealthy, s == stateHealthy
+	if was && !is {
+		if d := at - fi.serviceStart[i]; d > 0 {
+			fi.serviceTime[i] += d
+		}
+	}
+	if !was && is {
+		fi.serviceStart[i] = at
+	}
+	fi.state[i] = s
+}
+
+// closeService closes every still-open in-service span at `end` (or at
+// the last transition instant, whichever is later) and returns the total
+// in-service time across slots — the provisioned capacity the run billed.
+func (fi *faultInjector) closeService(end time.Duration) time.Duration {
+	if end < fi.lastInstant {
+		end = fi.lastInstant
+	}
+	var total time.Duration
+	for i := range fi.serviceTime {
+		if fi.state[i] == stateHealthy {
+			if d := end - fi.serviceStart[i]; d > 0 {
+				fi.serviceTime[i] += d
+			}
+			fi.serviceStart[i] = end
+		}
+		total += fi.serviceTime[i]
+	}
+	return total
+}
 
 // peek returns the next unfired event's instant.
 func (fi *faultInjector) peek() (time.Duration, bool) {
@@ -326,20 +382,20 @@ func (fi *faultInjector) fire() error {
 			return fmt.Errorf("cluster: churn plan recovers %s engine %d at %v",
 				fi.state[ev.Engine], ev.Engine, ev.At)
 		}
-		fi.state[ev.Engine] = stateHealthy
+		fi.setState(ev.Engine, stateHealthy, ev.At)
 		return fi.place(fi.take(), ev.At)
 	case Drain:
 		if fi.state[ev.Engine] != stateHealthy {
 			return fmt.Errorf("cluster: churn plan drains %s engine %d at %v",
 				fi.state[ev.Engine], ev.Engine, ev.At)
 		}
-		fi.state[ev.Engine] = stateDraining
+		fi.setState(ev.Engine, stateDraining, ev.At)
 		return nil
 	case Join:
 		if fi.state[ev.Engine] == stateHealthy {
 			return fmt.Errorf("cluster: churn plan joins healthy engine %d at %v", ev.Engine, ev.At)
 		}
-		fi.state[ev.Engine] = stateHealthy
+		fi.setState(ev.Engine, stateHealthy, ev.At)
 		return fi.place(fi.take(), ev.At)
 	}
 	return fmt.Errorf("cluster: unknown churn kind %d", int(ev.Kind))
@@ -366,7 +422,7 @@ func (fi *faultInjector) crash(i int, at time.Duration) error {
 	opts := fi.specs[i].Sched
 	opts.RecordTasks = true // mirrors Run's unconditional outcome recording
 	fi.engines[i] = sched.NewEngine(fi.newSched(i), opts)
-	fi.state[i] = stateFailed
+	fi.setState(i, stateFailed, at)
 
 	// Queued work just fails over; started work lost its activations
 	// with the accelerator — restart from zero if the retry policy
@@ -433,6 +489,29 @@ func (fi *faultInjector) resolve(idx int) (int, bool) {
 		}
 	}
 	return 0, false
+}
+
+// drainNow takes a healthy slot out of rotation at the autoscaler's
+// request — the same transition a plan Drain performs, minus the plan
+// cursor (autoscaler actions are policy decisions, not injected faults,
+// so they don't count as churn events).
+func (fi *faultInjector) drainNow(i int, at time.Duration) error {
+	if fi.state[i] != stateHealthy {
+		return fmt.Errorf("cluster: autoscaler drains %s engine %d at %v", fi.state[i], i, at)
+	}
+	fi.setState(i, stateDraining, at)
+	return nil
+}
+
+// joinNow returns a draining slot to service at the autoscaler's
+// request, re-dispatching any work parked while the cluster was down —
+// the same path a plan Join takes.
+func (fi *faultInjector) joinNow(i int, at time.Duration) error {
+	if fi.state[i] != stateDraining {
+		return fmt.Errorf("cluster: autoscaler joins %s engine %d at %v", fi.state[i], i, at)
+	}
+	fi.setState(i, stateHealthy, at)
+	return fi.place(fi.take(), at)
 }
 
 // finish closes the books at the end of the run: whatever is still

@@ -67,6 +67,11 @@ type Config struct {
 	// unlimited retries (a request is only lost if no engine ever comes
 	// back for it); a cap is opt-in with RetryMax >= 1.
 	RetryMax int
+	// Autoscale scales the live engine set between its Min and Max by
+	// draining and joining engines at signal-refresh instants (see
+	// autoscale.go). Nil disables autoscaling entirely: the run takes
+	// exactly the fixed-size code path, bit-identically.
+	Autoscale *Autoscaler
 	// Sched tunes each engine of a homogeneous cluster (ignored for
 	// engines covered by Specs).
 	Sched sched.Options
@@ -185,6 +190,11 @@ func Run(newSched func(engine int) sched.Scheduler, reqs []*workload.Request, cf
 	if migrating {
 		providers = append(providers, cfg.Rebalance)
 	}
+	if cfg.Autoscale != nil {
+		// The autoscaler reads the Backlog signal, so it can keep the
+		// board's load estimate alive even under a load-blind dispatcher.
+		providers = append(providers, cfg.Autoscale)
+	}
 	var load func(*sched.Task) time.Duration
 	for _, p := range providers {
 		if lp, ok := p.(loadProvider); ok && lp.LoadFunc() != nil {
@@ -205,14 +215,32 @@ func Run(newSched func(engine int) sched.Scheduler, reqs []*workload.Request, cf
 	// injector mutates the shared `engines` slice in place on failures, so
 	// the board and rebalancer always see the current incarnations.
 	var fi *faultInjector
-	if cfg.Churn != nil && len(cfg.Churn.Events) > 0 {
-		fi, err = newFaultInjector(cfg.Churn, engines, specs, newSched,
+	churning := cfg.Churn != nil && len(cfg.Churn.Events) > 0
+	if churning || cfg.Autoscale != nil {
+		// The autoscaler actuates through the injector's lifecycle
+		// machinery, so an autoscaled run arms it even without a churn
+		// plan (an empty plan simply never fires).
+		plan := cfg.Churn
+		if plan == nil {
+			plan = &ChurnPlan{}
+		}
+		fi, err = newFaultInjector(plan, engines, specs, newSched,
 			board, dispatch, reqs, cfg.MigrationCost, cfg.RetryMax)
 		if err != nil {
 			return Result{}, err
 		}
 		if rb != nil {
 			rb.bindLiveness(fi.up)
+		}
+	}
+	var sc *scaler
+	if cfg.Autoscale != nil {
+		if err := cfg.Autoscale.validate(len(engines)); err != nil {
+			return Result{}, err
+		}
+		sc, err = newScaler(cfg.Autoscale, fi)
+		if err != nil {
+			return Result{}, err
 		}
 	}
 
@@ -320,6 +348,19 @@ func Run(newSched func(engine int) sched.Scheduler, reqs []*workload.Request, cf
 			}
 		}
 		sig := board.Observe(r.Arrival)
+		// The autoscaler evaluates exactly once per snapshot refresh —
+		// the instants where its view actually changed — before the
+		// arrival is admitted (control plane before data plane). The
+		// snapshot it reads is the pre-action one, so its own action
+		// reaches dispatch with the same staleness every signal has: this
+		// very arrival may still route to the engine just drained and
+		// bounce off it as a redirect.
+		if sc != nil && board.Refreshes() != sc.seen {
+			sc.seen = board.Refreshes()
+			if err := sc.evaluate(sig, r.Arrival); err != nil {
+				return Result{}, err
+			}
+		}
 		if !admission.Admit(sig, r, r.Arrival) {
 			rejected++
 			continue
@@ -396,6 +437,10 @@ func Run(newSched func(engine int) sched.Scheduler, reqs []*workload.Request, cf
 			return Result{}, err
 		}
 	}
+	if sc != nil {
+		res.Result.ScaleUps = sc.ups
+		res.Result.ScaleDowns = sc.downs
+	}
 	if rb != nil {
 		// Win/loss accounting over the union of outcomes (recorded
 		// unconditionally above): did each moved request ultimately make
@@ -429,6 +474,49 @@ func Run(newSched func(engine int) sched.Scheduler, reqs []*workload.Request, cf
 		res.Tasks = nil
 	}
 
+	if fi != nil {
+		// Lifecycle-aware capacity accounting: close every open
+		// in-service span at the last committed instant, then compute
+		// utilization and imbalance over the *live* engine set only —
+		// slots the autoscaler parked for the whole run (or that churn
+		// kept dead) must not dilute the metrics of the engines that
+		// actually served. EngineSeconds bills exactly the in-service
+		// spans: the operator pays for engines while they are in
+		// rotation, not for parked capacity.
+		var end time.Duration
+		for _, e := range engines {
+			if t := e.Now(); t > end {
+				end = t
+			}
+		}
+		inService := fi.closeService(end)
+		res.Result.EngineSeconds = inService.Seconds()
+		var totalBusy, maxBusy time.Duration
+		liveSlots := 0
+		for i, b := range busy {
+			if fi.serviceTime[i] <= 0 {
+				continue
+			}
+			liveSlots++
+			totalBusy += b
+			if b > maxBusy {
+				maxBusy = b
+			}
+		}
+		if inService > 0 {
+			res.Utilization = float64(totalBusy) / float64(inService)
+		}
+		if totalBusy > 0 {
+			res.Imbalance = float64(maxBusy) / (float64(totalBusy) / float64(liveSlots))
+		} else {
+			res.Imbalance = 1
+		}
+		return res, nil
+	}
+
+	// Fixed-size path: the cluster bills every engine for the whole
+	// makespan, and all slots enter the balance metrics.
+	res.Result.EngineSeconds = float64(len(engines)) * res.Makespan.Seconds()
 	var totalBusy, maxBusy time.Duration
 	for _, b := range busy {
 		totalBusy += b

@@ -76,6 +76,10 @@ type SignalBoard struct {
 	sig      []EngineSignal
 	last     time.Duration
 	fresh    bool
+	// refreshes counts Refresh calls: the autoscaler keys its evaluation
+	// instants off this, so it runs exactly once per snapshot refresh
+	// instead of once per arrival.
+	refreshes int
 }
 
 // NewSignalBoard wraps the engines. load is the per-task remaining-work
@@ -126,7 +130,13 @@ func (b *SignalBoard) Refresh(now time.Duration) {
 	}
 	b.last = now
 	b.fresh = true
+	b.refreshes++
 }
+
+// Refreshes returns how many times the board has refreshed its
+// snapshots. It only ever grows, so comparing it across observations
+// detects refresh instants.
+func (b *SignalBoard) Refreshes() int { return b.refreshes }
 
 // Age returns how stale the current signals are at virtual time now.
 func (b *SignalBoard) Age(now time.Duration) time.Duration {

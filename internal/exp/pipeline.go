@@ -85,6 +85,24 @@ type Options struct {
 	// failure destroys its partial execution; past the cap the request
 	// is counted as LostWork. 0 means retry without limit.
 	RetryMax int
+	// Traffic names the arrival process: "" or "poisson" (stationary
+	// Poisson — "" keeps the historical inline draw, "poisson" the
+	// explicit process, byte-for-byte identical streams), "mmpp"
+	// (two-phase Markov-modulated bursts, shaped by Burst), "diurnal"
+	// (sinusoidal rate curve, one cycle per stream), or "replay:PATH"
+	// (arrival instants from a recorded CSV trace).
+	Traffic string
+	// Burst is the burst-to-quiet rate ratio of the mmpp process; 0
+	// means the default of 8.
+	Burst float64
+	// Autoscale enables the SLO-driven engine-count policy: the live
+	// set scales between ScaleMin and ScaleMax by draining and
+	// re-joining engines at signal-refresh instants. Setting it routes
+	// runs through the cluster layer.
+	Autoscale bool
+	// ScaleMin and ScaleMax bound the autoscaler's live engine count.
+	// 0 means Min 1 and Max = the cluster size.
+	ScaleMin, ScaleMax int
 }
 
 // DefaultOptions returns the paper-scale protocol.

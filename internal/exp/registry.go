@@ -40,6 +40,7 @@ var registry = map[string]Runner{
 	"hetero-scale":  HeteroScale,
 	"migration":     Migration,
 	"engine-churn":  EngineChurn,
+	"autoscale":     Autoscale,
 }
 
 // order is the presentation order of the paper artefacts.
@@ -65,7 +66,7 @@ func AblationIDs() []string {
 }
 
 // scale lists the beyond-the-paper scaling studies.
-var scale = []string{"scale-engines", "stale-signals", "hetero-scale", "migration", "engine-churn"}
+var scale = []string{"scale-engines", "stale-signals", "hetero-scale", "migration", "engine-churn", "autoscale"}
 
 // ScaleIDs returns the scaling-study experiment ids.
 func ScaleIDs() []string { return append([]string(nil), scale...) }

@@ -46,11 +46,16 @@ func churnSeed(seed int) uint64 { return uint64(1000*seed) + 29 }
 // runCell executes one simulation cell: generate the request stream for
 // the seed index and run one fresh scheduler instance over it.
 func (p *Pipeline) runCell(spec SchedSpec, pt Point, seed int, opts Options) (sched.Result, error) {
+	proc, err := NewTraffic(opts.Traffic, pt.Rate, opts.Requests, opts.Burst)
+	if err != nil {
+		return sched.Result{}, err
+	}
 	reqs, err := workload.Generate(p.Scenario, p.Eval, workload.GenConfig{
 		Requests:      opts.Requests,
 		RatePerSec:    pt.Rate,
 		SLOMultiplier: pt.MSLO,
 		Seed:          cellSeed(seed),
+		Process:       proc,
 	})
 	if err != nil {
 		return sched.Result{}, fmt.Errorf("exp: generating %s workload: %w", p.Scenario.Name, err)
@@ -64,7 +69,7 @@ func (p *Pipeline) runCell(spec SchedSpec, pt Point, seed int, opts Options) (sc
 	// silently ignored.
 	clustered := opts.Engines > 1 || len(opts.EngineSpecs) > 0 ||
 		opts.SignalInterval > 0 || (opts.Admission != "" && opts.Admission != "none") ||
-		(opts.Rebalance != "" && opts.Rebalance != "none") || opts.Churn
+		(opts.Rebalance != "" && opts.Rebalance != "none") || opts.Churn || opts.Autoscale
 	if clustered {
 		d, err := NewDispatcher(opts.Dispatch, p)
 		if err != nil {
@@ -97,6 +102,22 @@ func (p *Pipeline) runCell(spec SchedSpec, pt Point, seed int, opts Options) (sc
 			// Admission/staleness on the default single accelerator.
 			cfg.Engines = 1
 			engines = 1
+		}
+		if opts.Autoscale {
+			// Bounds default to [1, cluster size]; thresholds derive from
+			// this cell's stream (pure function of the seed index, so
+			// autoscaled grids stay bit-identical for any -workers). The
+			// policy always reads the sparsity-aware load estimate — its
+			// decisions should be as informed as the best dispatcher's,
+			// whatever policy actually routes.
+			min, max := opts.ScaleMin, opts.ScaleMax
+			if min == 0 {
+				min = 1
+			}
+			if max == 0 {
+				max = engines
+			}
+			cfg.Autoscale = NewAutoscaler(reqs, min, max, cluster.SparsityAwareLoad(p.LUT, p.Est))
 		}
 		if opts.Churn {
 			// The fail/recover schedule is a pure function of the seed

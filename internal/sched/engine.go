@@ -482,6 +482,9 @@ func (e *Engine) Finish() Result {
 	res.MeanLatency = time.Duration(stats.Mean(e.latencies))
 	res.P99Latency = time.Duration(stats.Percentile(e.latencies, 99))
 	res.Makespan = lastDone - e.firstArrival
+	// A standalone engine bills exactly its makespan of capacity; the
+	// cluster layer overwrites this with the pool's in-service total.
+	res.EngineSeconds = res.Makespan.Seconds()
 	if res.Makespan > 0 {
 		res.Throughput = float64(len(e.done)) / res.Makespan.Seconds()
 		res.Goodput = float64(len(e.done)-violations) / res.Makespan.Seconds()

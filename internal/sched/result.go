@@ -72,6 +72,12 @@ type Result struct {
 	// stale) and had to bounce to a live one. All are dispatch-layer
 	// counters carried here so they survive the seed-averaging pipeline.
 	Failovers, Retries, Redirects int
+	// ScaleUps and ScaleDowns count autoscaler actions — engines joined
+	// into and drained out of the live set by the cluster's SLO-driven
+	// engine-count policy (internal/cluster, zero without one). The cost
+	// the actions trade against Goodput is EngineSeconds. Dispatch-layer
+	// counters carried here so they survive the seed-averaging pipeline.
+	ScaleUps, ScaleDowns int
 	// Migrations counts requests moved between engines by the cluster
 	// rebalancer (internal/cluster work stealing / shedding); zero on
 	// every single-engine run. MigrationWins and MigrationLosses split
@@ -82,6 +88,15 @@ type Result struct {
 	Migrations, MigrationWins, MigrationLosses int
 	// Makespan is the time from first arrival to last completion.
 	Makespan time.Duration
+	// EngineSeconds is the provisioned-capacity cost of the run: the
+	// total engine-time paid for, in seconds (the serving analogue of
+	// core-hours). A single engine bills its makespan; a fixed N-engine
+	// cluster bills N x makespan; an autoscaled or churned cluster bills
+	// only the spans its engines were actually in service, which is what
+	// makes the cost-vs-goodput frontier comparable across policies.
+	// Like the dispatch-layer counters above, it is carried here so it
+	// survives the seed-averaging pipeline.
+	EngineSeconds float64
 	// PerModel breaks ANTT and violation rate down by model name; short
 	// and long tenants often fare very differently under the same
 	// scheduler.
@@ -179,6 +194,9 @@ func AverageResults(rs []Result) (Result, error) {
 		avg.Failovers += r.Failovers
 		avg.Retries += r.Retries
 		avg.Redirects += r.Redirects
+		avg.ScaleUps += r.ScaleUps
+		avg.ScaleDowns += r.ScaleDowns
+		avg.EngineSeconds += r.EngineSeconds
 		meanLat += float64(r.MeanLatency)
 		p99Lat += float64(r.P99Latency)
 		makespan += float64(r.Makespan)
@@ -223,6 +241,9 @@ func AverageResults(rs []Result) (Result, error) {
 	avg.Failovers = int(math.Round(float64(avg.Failovers) / n))
 	avg.Retries = int(math.Round(float64(avg.Retries) / n))
 	avg.Redirects = int(math.Round(float64(avg.Redirects) / n))
+	avg.ScaleUps = int(math.Round(float64(avg.ScaleUps) / n))
+	avg.ScaleDowns = int(math.Round(float64(avg.ScaleDowns) / n))
+	avg.EngineSeconds /= n
 	// Re-derive Offered from the rounded classes (only when the inputs
 	// carried the accounting at all), so the conservation identity that
 	// held per input also holds on the average despite each class

@@ -1,0 +1,153 @@
+package traffic
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"time"
+
+	"sparsedysta/internal/rng"
+)
+
+// Arrival-trace CSV layout, following the internal/trace conventions
+// (header row, strict validation, fmt-prefixed errors): one row per
+// request with columns
+//
+//	request, arrival_ns
+//
+// ordered by request index with non-decreasing arrival times, which is
+// how WriteArrivalsCSV emits them.
+
+var arrivalsHeader = []string{"request", "arrival_ns"}
+
+// WriteArrivalsCSV writes one arrival per row, in order.
+func WriteArrivalsCSV(w io.Writer, arrivals []time.Duration) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(arrivalsHeader); err != nil {
+		return fmt.Errorf("traffic: writing header: %w", err)
+	}
+	for i, at := range arrivals {
+		rec := []string{strconv.Itoa(i), strconv.FormatInt(int64(at), 10)}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("traffic: writing arrival %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadArrivalsCSV parses a file written by WriteArrivalsCSV.
+func ReadArrivalsCSV(r io.Reader) ([]time.Duration, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(arrivalsHeader)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("traffic: reading header: %w", err)
+	}
+	for i, want := range arrivalsHeader {
+		if header[i] != want {
+			return nil, fmt.Errorf("traffic: header column %d is %q, want %q", i, header[i], want)
+		}
+	}
+
+	var arrivals []time.Duration
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("traffic: reading row: %w", err)
+		}
+		idx, err := strconv.Atoi(rec[0])
+		if err != nil {
+			return nil, fmt.Errorf("traffic: bad request index %q: %w", rec[0], err)
+		}
+		if idx != len(arrivals) {
+			return nil, fmt.Errorf("traffic: row out of order: request %d after %d rows", idx, len(arrivals))
+		}
+		ns, err := strconv.ParseInt(rec[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("traffic: bad arrival %q: %w", rec[1], err)
+		}
+		at := time.Duration(ns)
+		if at < 0 {
+			return nil, fmt.Errorf("traffic: negative arrival %v at request %d", at, idx)
+		}
+		if n := len(arrivals); n > 0 && at < arrivals[n-1] {
+			return nil, fmt.Errorf("traffic: arrival %v at request %d before previous %v", at, idx, arrivals[n-1])
+		}
+		arrivals = append(arrivals, at)
+	}
+	if len(arrivals) == 0 {
+		return nil, fmt.Errorf("traffic: file has no data rows")
+	}
+	return arrivals, nil
+}
+
+// Replay replays a recorded sequence of inter-arrival gaps, cycling when
+// the recording is shorter than the requested stream. It consumes no
+// randomness: the replayed stream is a pure function of the recording.
+type Replay struct {
+	// Source names the recording in results (e.g. the file it came from).
+	Source string
+	// Gaps are the inter-arrival gaps, in order.
+	Gaps []time.Duration
+
+	next int
+}
+
+// NewReplay returns a replay of the given recorded arrival times: the
+// replayed gaps are the successive differences (the first arrival's
+// offset from zero is the first gap).
+func NewReplay(source string, arrivals []time.Duration) *Replay {
+	gaps := make([]time.Duration, len(arrivals))
+	var prev time.Duration
+	for i, at := range arrivals {
+		gaps[i] = at - prev
+		prev = at
+	}
+	return &Replay{Source: source, Gaps: gaps}
+}
+
+// LoadReplay reads an arrival-trace CSV from path and returns its replay.
+func LoadReplay(path string) (*Replay, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("traffic: %w", err)
+	}
+	defer f.Close()
+	arrivals, err := ReadArrivalsCSV(f)
+	if err != nil {
+		return nil, err
+	}
+	return NewReplay(path, arrivals), nil
+}
+
+// Name implements Process.
+func (*Replay) Name() string { return "replay" }
+
+// Validate implements Process.
+func (p *Replay) Validate() error {
+	if len(p.Gaps) == 0 {
+		return fmt.Errorf("traffic: replay %q has no recorded gaps", p.Source)
+	}
+	for i, g := range p.Gaps {
+		if g < 0 {
+			return fmt.Errorf("traffic: replay %q has negative gap %v at %d", p.Source, g, i)
+		}
+	}
+	return nil
+}
+
+// Reset implements Process: back to the start of the recording.
+func (p *Replay) Reset() { p.next = 0 }
+
+// Next implements Process, cycling through the recorded gaps.
+func (p *Replay) Next(_ *rng.Source, _ time.Duration) time.Duration {
+	g := p.Gaps[p.next]
+	p.next = (p.next + 1) % len(p.Gaps)
+	return g
+}

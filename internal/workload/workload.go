@@ -17,6 +17,7 @@ import (
 	"sparsedysta/internal/rng"
 	"sparsedysta/internal/sparsity"
 	"sparsedysta/internal/trace"
+	"sparsedysta/internal/traffic"
 )
 
 // Entry is one sampleable model-pattern variant of a scenario.
@@ -125,13 +126,26 @@ type GenConfig struct {
 	PerSampleSLO bool
 	// Seed drives sampling and arrivals.
 	Seed uint64
+	// Process overrides the arrival process. Nil means stationary
+	// Poisson at RatePerSec — bit-identical to the historical inline
+	// loop, since traffic.Poisson performs the same single Exp draw per
+	// request at the same stream position. A non-nil process draws its
+	// deviates inline from the generation source (never from a split
+	// substream, which would shift every later sampling draw), and is
+	// Reset at the start of generation so a stateful process can be
+	// reused across streams.
+	Process traffic.Process
 }
 
 func (c GenConfig) validate() error {
 	if c.Requests <= 0 {
 		return fmt.Errorf("workload: non-positive request count %d", c.Requests)
 	}
-	if c.RatePerSec <= 0 {
+	if c.Process != nil {
+		if err := c.Process.Validate(); err != nil {
+			return err
+		}
+	} else if c.RatePerSec <= 0 {
 		return fmt.Errorf("workload: non-positive arrival rate %v", c.RatePerSec)
 	}
 	if c.SLOMultiplier < 1 {
@@ -165,11 +179,17 @@ func Generate(sc Scenario, store *trace.Store, cfg GenConfig) ([]*Request, error
 		meanIso[e.Key()] = time.Duration(sum / float64(len(traces)))
 	}
 
+	proc := cfg.Process
+	if proc == nil {
+		proc = traffic.NewPoisson(cfg.RatePerSec)
+	}
+	proc.Reset()
+
 	r := rng.New(cfg.Seed)
 	reqs := make([]*Request, cfg.Requests)
 	var now time.Duration
 	for i := range reqs {
-		now += time.Duration(r.Exp(cfg.RatePerSec) * float64(time.Second))
+		now += proc.Next(r, now)
 		e := sampleEntry(r, sc.Entries, totalWeight)
 		traces := store.Get(e.Key())
 		tr := traces[r.Intn(len(traces))]
