@@ -1,0 +1,93 @@
+// Command dysta-lint is the determinism linter for the sparsedysta
+// tree: a multichecker over the five analyzers in internal/analysis
+// (detrange, wallclock, seedrand, floatorder, gospawn), scoped per
+// package by internal/analysis/suite.
+//
+// It runs two ways:
+//
+//	dysta-lint [dir]             standalone: lint every package of the
+//	                             module containing dir (default ".")
+//	go vet -vettool=$(go env PWD)/dysta-lint ./...
+//	                             as a vet tool, driven by the go
+//	                             command's unit-checker protocol
+//
+// Both paths apply the same suite rules; the standalone form
+// typechecks from source (GOROOT + module tree) and needs no build
+// cache. Exit status: 0 clean, 1 diagnostics reported, 2 failure to
+// load or typecheck.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"sparsedysta/internal/analysis"
+	"sparsedysta/internal/analysis/suite"
+)
+
+func main() {
+	args := os.Args[1:]
+	// The go command's vet driver probes its tool with -V=full (for
+	// the build cache key) and -flags (for flag registration) before
+	// ever passing a package config.
+	for _, a := range args {
+		switch {
+		case a == "-V=full" || a == "--V=full":
+			printVersion()
+			return
+		case a == "-flags" || a == "--flags":
+			fmt.Println("[]")
+			return
+		}
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(unitcheck(args[0]))
+	}
+	dir := "."
+	if len(args) > 0 {
+		// Accept and ignore ./... style patterns so the natural
+		// `dysta-lint ./...` spelling lints the whole module.
+		if !strings.HasPrefix(args[0], "-") && !strings.Contains(args[0], "...") {
+			dir = args[0]
+		}
+	}
+	os.Exit(standalone(dir))
+}
+
+// standalone lints every package of the module enclosing dir.
+func standalone(dir string) int {
+	root, modPath, err := analysis.FindModule(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dysta-lint:", err)
+		return 2
+	}
+	dirs, paths, err := analysis.ModulePackages(root, modPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dysta-lint:", err)
+		return 2
+	}
+	loader := analysis.NewLoader(root)
+	exit := 0
+	for i, d := range dirs {
+		analyzers := suite.For(paths[i])
+		if len(analyzers) == 0 {
+			continue
+		}
+		pkg, err := loader.Load(d, paths[i])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dysta-lint:", err)
+			return 2
+		}
+		diags, err := analysis.RunAnalyzers(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dysta-lint:", err)
+			return 2
+		}
+		for _, diag := range diags {
+			fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", pkg.Fset.Position(diag.Pos), diag.Analyzer, diag.Message)
+			exit = 1
+		}
+	}
+	return exit
+}

@@ -1,0 +1,165 @@
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"runtime"
+
+	"sparsedysta/internal/analysis"
+	"sparsedysta/internal/analysis/suite"
+)
+
+// vetConfig mirrors the JSON the go command writes to <objdir>/vet.cfg
+// for each package when driving a -vettool (cmd/go/internal/work,
+// buildVetConfig). Fields the suite does not consume are retained so
+// the decode stays strict about nothing and forward-compatible.
+type vetConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	Standard    map[string]bool
+	PackageVetx map[string]string
+	VetxOnly    bool
+	VetxOutput  string
+	GoVersion   string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// unitcheck implements one unit of the go vet tool protocol: load the
+// package described by cfgPath from its compiled dependencies' export
+// data, run the suite's analyzers for its import path, print findings
+// to stderr, and return the process exit code.
+func unitcheck(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dysta-lint:", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "dysta-lint: parsing %s: %v\n", cfgPath, err)
+		return 2
+	}
+	// The go command treats the vetx output as a product of this run
+	// and caches it; the suite computes no cross-package facts, so an
+	// empty file satisfies the contract.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("dysta-lint: no facts\n"), 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "dysta-lint:", err)
+			return 2
+		}
+	}
+	// Dependencies are vetted only for facts (VetxOnly); with no facts
+	// to compute there is nothing to do, which conveniently skips
+	// typechecking the entire standard library.
+	if cfg.VetxOnly {
+		return 0
+	}
+	analyzers := suite.For(cfg.ImportPath)
+	if len(analyzers) == 0 {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintln(os.Stderr, "dysta-lint:", err)
+			return 2
+		}
+		files = append(files, f)
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	imp := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	conf := types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor(compiler, runtime.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "dysta-lint:", err)
+		return 2
+	}
+
+	pkg := &analysis.Package{Path: cfg.ImportPath, Dir: cfg.Dir, Fset: fset, Files: files, Types: tpkg, Info: info}
+	diags, err := analysis.RunAnalyzers(pkg, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dysta-lint:", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// printVersion answers the go command's -V=full probe. The "devel"
+// form requires a trailing buildID the driver can use as a cache key;
+// hashing the executable makes rebuilds invalidate cached vet results.
+func printVersion() {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Println("dysta-lint version devel buildID=unknown")
+		return
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		fmt.Println("dysta-lint version devel buildID=unknown")
+		return
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		fmt.Println("dysta-lint version devel buildID=unknown")
+		return
+	}
+	fmt.Printf("dysta-lint version devel buildID=%x\n", h.Sum(nil)[:16])
+}

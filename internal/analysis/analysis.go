@@ -1,0 +1,167 @@
+// Package analysis is a dependency-free reimplementation of the core of
+// golang.org/x/tools/go/analysis, specialised for the dysta-lint suite.
+//
+// The repository's determinism contracts (virtual clock, seeded
+// internal/rng substreams, sorted-order map traversals, bit-identical
+// equivalence suites) are enforced by static analyzers built on this
+// package. The x/tools module is deliberately not imported: the build
+// must stay self-contained, so the three pieces dysta-lint needs — the
+// Analyzer/Pass/Diagnostic vocabulary, a source-level package loader,
+// and the `go vet -vettool` unit-checker protocol — are implemented
+// here against the standard library only.
+//
+// Analyzers live in subpackages (detrange, wallclock, seedrand,
+// floatorder, gospawn); the suite subpackage maps each analyzer onto
+// the import paths whose determinism contract it guards; cmd/dysta-lint
+// is the multichecker driver.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static check. It mirrors the x/tools
+// analysis.Analyzer surface that dysta-lint relies on.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //dysta:allow suppression comments. It must be a valid Go
+	// identifier.
+	Name string
+
+	// Doc is the one-paragraph contract the analyzer enforces.
+	Doc string
+
+	// Run applies the analyzer to a typechecked package, reporting
+	// findings through pass.Report.
+	Run func(*Pass) error
+}
+
+// A Pass provides one analyzer with a single typechecked package and a
+// sink for its diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. The driver installs it.
+	Report func(Diagnostic)
+
+	directives []Directive           // lazily built by Directives
+	parents    map[ast.Node]ast.Node // lazily built by Parent
+}
+
+// A Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// TypeOf returns the type of expression e, or nil if unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.TypesInfo.TypeOf(e) }
+
+// IsTestFile reports whether the file enclosing pos is a _test.go file.
+// The determinism contracts bind production code; tests routinely range
+// over maps to assert on their contents, so every analyzer in the suite
+// skips test files through this helper.
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	f := p.Fset.File(pos)
+	return f != nil && strings.HasSuffix(f.Name(), "_test.go")
+}
+
+// PkgNameOf resolves e to the *types.PkgName it denotes, or nil. It is
+// how analyzers recognise qualified references (time.Now, rand.Intn)
+// robustly across import aliases.
+func (p *Pass) PkgNameOf(e ast.Expr) *types.PkgName {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	pn, _ := p.TypesInfo.Uses[id].(*types.PkgName)
+	return pn
+}
+
+// Parent returns the immediate syntactic parent of n within the pass's
+// files, building the parent index on first use.
+func (p *Pass) Parent(n ast.Node) ast.Node {
+	if p.parents == nil {
+		p.parents = make(map[ast.Node]ast.Node)
+		for _, f := range p.Files {
+			stack := []ast.Node{f}
+			ast.Inspect(f, func(n ast.Node) bool {
+				if n == nil {
+					stack = stack[:len(stack)-1]
+					return true
+				}
+				p.parents[n] = stack[len(stack)-1]
+				stack = append(stack, n)
+				return true
+			})
+		}
+	}
+	return p.parents[n]
+}
+
+// EnclosingFunc returns the top-level function declaration containing n,
+// or nil when n sits outside any function body.
+func (p *Pass) EnclosingFunc(n ast.Node) *ast.FuncDecl {
+	for c := n; c != nil; c = p.Parent(c) {
+		if fd, ok := c.(*ast.FuncDecl); ok {
+			return fd
+		}
+	}
+	return nil
+}
+
+// EnclosingBlock returns the innermost *ast.BlockStmt that directly or
+// transitively contains n, or nil.
+func (p *Pass) EnclosingBlock(n ast.Node) *ast.BlockStmt {
+	for c := p.Parent(n); c != nil; c = p.Parent(c) {
+		if b, ok := c.(*ast.BlockStmt); ok {
+			return b
+		}
+	}
+	return nil
+}
+
+// RunAnalyzers applies each analyzer to pkg and returns the merged
+// diagnostics in file/position order.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+		}
+		pass.Report = func(d Diagnostic) { diags = append(diags, d) }
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %v", a.Name, err)
+		}
+	}
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := pkg.Fset.Position(diags[i].Pos), pkg.Fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+	return diags, nil
+}

@@ -1,0 +1,107 @@
+// Package analysistest runs an analyzer over golden packages under a
+// testdata directory and checks its diagnostics against `// want`
+// comments, mirroring the x/tools harness of the same name on the
+// standard library alone.
+//
+// Expectations are written on the line they apply to:
+//
+//	for k := range m { // want `range over map`
+//
+// Each backquoted or double-quoted string after `want` is a regular
+// expression; the line must produce exactly one diagnostic per
+// expectation, each matched by one of them. Lines without a want
+// comment must produce no diagnostics.
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"sparsedysta/internal/analysis"
+)
+
+// Run loads each named package from dir/src/<pkg>, applies a, and
+// reports mismatches between actual diagnostics and // want comments
+// through t.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		loader := analysis.NewLoader(dir)
+		p, err := loader.Load(filepath.Join(dir, "src", filepath.FromSlash(pkg)), pkg)
+		if err != nil {
+			t.Errorf("load %s: %v", pkg, err)
+			continue
+		}
+		diags, err := analysis.RunAnalyzers(p, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Errorf("run %s on %s: %v", a.Name, pkg, err)
+			continue
+		}
+		check(t, p, diags)
+	}
+}
+
+// expectation is one want regexp at a file:line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	used bool
+}
+
+// wantRx pulls the quoted expressions out of a want comment.
+var wantRx = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+func check(t *testing.T, p *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				// The expectation is the last `// want` marker in the
+				// comment, so a //dysta: directive under test can carry
+				// its own expectation in the same line comment.
+				idx := strings.LastIndex(text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				for _, m := range wantRx.FindAllStringSubmatch(text[idx+len("// want "):], -1) {
+					pat := m[1]
+					if pat == "" {
+						pat = m[2]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+						continue
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := p.Fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.used && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", fmt.Sprintf("%s:%d:%d", pos.Filename, pos.Line, pos.Column), d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.used {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}

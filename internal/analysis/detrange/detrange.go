@@ -1,0 +1,591 @@
+// Package detrange flags `range` statements over maps in the
+// deterministic packages. Go randomises map iteration order per run, so
+// any map traversal whose effect depends on visit order breaks the
+// repository's bit-identical reproducibility contract (doc.go of
+// internal/sched, internal/cluster, internal/exp).
+//
+// A traversal escapes the diagnostic in exactly two ways:
+//
+//   - Its body is provably order-insensitive: every statement is a
+//     commutative integer accumulation, a write keyed by the ranged
+//     key, a per-key delete, a body-local definition, or a
+//     collect-into-slice append whose slice is sorted later in the same
+//     block (the collect-then-sort idiom of sched/baselines.go).
+//   - It carries an explicit `//dysta:ordered <reason>` suppression on
+//     the range line or the line above.
+//
+// Everything else — early returns, calls with side effects, float
+// accumulation, appends that are never sorted — is reported.
+package detrange
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"sparsedysta/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "detrange",
+	Doc: "flags map traversals in deterministic packages unless provably " +
+		"order-insensitive or suppressed with //dysta:ordered <reason>",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if orderInsensitive(pass, rs) || pass.Ordered(rs.Pos()) {
+				return true
+			}
+			pass.Reportf(rs.Pos(), "range over map %s: iteration order is nondeterministic; "+
+				"collect keys and sort (see sched.NewEstimator) or annotate //dysta:ordered <reason>",
+				types.ExprString(rs.X))
+			return true
+		})
+	}
+	return nil
+}
+
+// prover holds the state of the order-insensitivity proof for one
+// map-range body.
+type prover struct {
+	pass *analysis.Pass
+	rs   *ast.RangeStmt
+
+	keyObj types.Object // object of the ranged key variable, if an ident
+
+	// accums maps each non-local object the body writes commutatively
+	// (count++, n += len(v), bits |= f) to the identifiers that
+	// perform those writes; any *other* read of the object breaks
+	// commutativity (e.g. `if count > 3` mid-loop).
+	accums map[types.Object][]*ast.Ident
+
+	// collects maps each slice object built by `s = append(s, ...)` to
+	// its writing identifiers; the proof additionally demands a
+	// sort.X/slices.X call on the slice later in the enclosing block.
+	collects map[types.Object][]*ast.Ident
+
+	// locals are objects declared inside the body: writes to them
+	// cannot leak state across iterations into the caller.
+	locals map[types.Object]bool
+}
+
+// orderInsensitive reports whether the body of rs provably has the same
+// effect under every map iteration order.
+func orderInsensitive(pass *analysis.Pass, rs *ast.RangeStmt) bool {
+	p := &prover{
+		pass:     pass,
+		rs:       rs,
+		accums:   make(map[types.Object][]*ast.Ident),
+		collects: make(map[types.Object][]*ast.Ident),
+		locals:   make(map[types.Object]bool),
+	}
+	if id, ok := rs.Key.(*ast.Ident); ok {
+		p.keyObj = pass.TypesInfo.Defs[id]
+		if p.keyObj == nil {
+			p.keyObj = pass.TypesInfo.Uses[id]
+		}
+	}
+	// The key and value variables rebind every iteration: writes
+	// through them cannot carry state across iterations.
+	p.noteLocal(rs.Key)
+	p.noteLocal(rs.Value)
+	for _, s := range rs.Body.List {
+		if !p.stmtOK(s) {
+			return false
+		}
+	}
+	if !p.readsAreClean() {
+		return false
+	}
+	for obj := range p.collects {
+		if !p.sortedLater(obj) {
+			return false
+		}
+	}
+	return true
+}
+
+// stmtOK classifies one body statement as order-insensitive, recording
+// accumulators and collect targets as it goes.
+func (p *prover) stmtOK(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		return p.assignOK(s)
+	case *ast.IncDecStmt:
+		return p.lvalueAccumOK(s.X)
+	case *ast.ExprStmt:
+		// delete(m, k) removes a distinct entry per iteration.
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "delete" && len(call.Args) == 2 {
+				if p.isKey(call.Args[1]) && p.exprPure(call.Args[0]) {
+					return true
+				}
+			}
+		}
+		return false
+	case *ast.IfStmt:
+		if s.Init != nil && !p.stmtOK(s.Init) {
+			return false
+		}
+		if !p.exprPure(s.Cond) {
+			return false
+		}
+		for _, b := range s.Body.List {
+			if !p.stmtOK(b) {
+				return false
+			}
+		}
+		if s.Else != nil {
+			switch e := s.Else.(type) {
+			case *ast.BlockStmt:
+				for _, b := range e.List {
+					if !p.stmtOK(b) {
+						return false
+					}
+				}
+			case *ast.IfStmt:
+				return p.stmtOK(e)
+			default:
+				return false
+			}
+		}
+		return true
+	case *ast.BlockStmt:
+		for _, b := range s.List {
+			if !p.stmtOK(b) {
+				return false
+			}
+		}
+		return true
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR && gd.Tok != token.CONST {
+			return false
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				return false
+			}
+			for _, v := range vs.Values {
+				if !p.exprPure(v) {
+					return false
+				}
+			}
+			for _, name := range vs.Names {
+				if obj := p.pass.TypesInfo.Defs[name]; obj != nil {
+					p.locals[obj] = true
+				}
+			}
+		}
+		return true
+	case *ast.BranchStmt:
+		// `continue` merely skips an iteration; break/goto/labels make
+		// the set of visited entries order-dependent.
+		return s.Tok == token.CONTINUE && s.Label == nil
+	case *ast.RangeStmt:
+		// A nested traversal of a slice/array (typically the ranged
+		// value) stays inside this iteration; nested map ranges are
+		// judged as their own sites, so treating the statement as
+		// opaque here would double-report.
+		t := p.pass.TypeOf(s.X)
+		if t == nil {
+			return false
+		}
+		if _, isMap := t.Underlying().(*types.Map); isMap {
+			return false
+		}
+		if !p.exprPure(s.X) {
+			return false
+		}
+		p.noteLocal(s.Key)
+		p.noteLocal(s.Value)
+		for _, b := range s.Body.List {
+			if !p.stmtOK(b) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// noteLocal records a range/assign-defined ident as body-local.
+func (p *prover) noteLocal(e ast.Expr) {
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := p.pass.TypesInfo.Defs[id]; obj != nil {
+			p.locals[obj] = true
+		}
+	}
+}
+
+// assignOK classifies an assignment statement.
+func (p *prover) assignOK(s *ast.AssignStmt) bool {
+	switch s.Tok {
+	case token.DEFINE:
+		// Fresh body-local bindings; the initialisers must be pure.
+		for _, rhs := range s.Rhs {
+			if !p.exprPure(rhs) {
+				return false
+			}
+		}
+		for _, lhs := range s.Lhs {
+			p.noteLocal(lhs)
+		}
+		return true
+	case token.ASSIGN:
+		if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+			return false
+		}
+		lhs, rhs := s.Lhs[0], s.Rhs[0]
+		// s = append(s, pure...) — the collect half of
+		// collect-then-sort; order lands in the slice, so the proof
+		// completes only if the slice is sorted afterwards.
+		if target, args, ok := appendTo(lhs, rhs); ok {
+			obj := p.objOf(target)
+			if obj == nil {
+				return false
+			}
+			for _, a := range args {
+				if !p.exprPure(a) {
+					return false
+				}
+			}
+			p.collects[obj] = append(p.collects[obj], identsOf(lhs, rhs)...)
+			return true
+		}
+		// Plain overwrite of a body-local temp (m.ANTT = 0 on the
+		// range value variable included).
+		if p.localWrite(lhs) {
+			return p.exprPure(rhs)
+		}
+		// other[k] = pure — a write to a distinct key per iteration.
+		if p.keyedWrite(lhs) {
+			return p.exprPure(rhs)
+		}
+		return false
+	case token.ADD_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+		if len(s.Lhs) != 1 || len(s.Rhs) != 1 || !p.exprPure(s.Rhs[0]) {
+			return false
+		}
+		if p.localWrite(s.Lhs[0]) {
+			return true
+		}
+		if p.keyedWrite(s.Lhs[0]) {
+			return true
+		}
+		return p.lvalueAccumOK(s.Lhs[0])
+	default:
+		// The remaining compound assignments (-=, *=, /=, shifts) are
+		// not commutative-safe in general; they are accepted only on
+		// state that dies with the iteration — the normalise idiom
+		// `m.ANTT /= float64(m.Requests)` on the range value variable,
+		// never on anything that outlives the loop.
+		if len(s.Lhs) != 1 || len(s.Rhs) != 1 || !p.exprPure(s.Rhs[0]) {
+			return false
+		}
+		return p.localWrite(s.Lhs[0])
+	}
+}
+
+// lvalueAccumOK accepts ++/+=-style updates of integer lvalues,
+// registering them as accumulators, and of body-locals.
+func (p *prover) lvalueAccumOK(e ast.Expr) bool {
+	obj := p.objOf(e)
+	if obj == nil {
+		return false
+	}
+	if p.locals[obj] {
+		return true
+	}
+	if !isInteger(obj.Type()) {
+		// Float accumulation is exactly the non-associativity hazard;
+		// floatorder reports the statement, detrange reports the range.
+		return false
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		p.accums[obj] = append(p.accums[obj], id)
+		return true
+	}
+	return false
+}
+
+// keyedWrite reports whether lhs is an index expression keyed by the
+// ranged key variable — each iteration then touches a distinct element.
+func (p *prover) keyedWrite(lhs ast.Expr) bool {
+	ix, ok := lhs.(*ast.IndexExpr)
+	if !ok || p.keyObj == nil {
+		return false
+	}
+	return p.isKey(ix.Index) && p.exprPure(ix.X)
+}
+
+// isKey reports whether e denotes the ranged key variable.
+func (p *prover) isKey(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && p.keyObj != nil && p.pass.TypesInfo.Uses[id] == p.keyObj
+}
+
+// objOf resolves an lvalue expression to a variable object (idents and
+// selector fields), or nil when it has no stable identity.
+func (p *prover) objOf(e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if obj := p.pass.TypesInfo.Uses[e]; obj != nil {
+			return obj
+		}
+		return p.pass.TypesInfo.Defs[e]
+	}
+	return nil
+}
+
+// baseObjOf strips selector and index layers off an lvalue and resolves
+// the base identifier (agg in agg.ANTT, m in m[i].x), or nil.
+// Dereferences are not stripped: a write through a pointer escapes
+// whatever scope the pointer variable lives in.
+func (p *prover) baseObjOf(e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return p.objOf(e)
+		}
+	}
+}
+
+// localWrite reports whether lhs writes state that dies with the
+// iteration: a body-local variable, or a field/element of one whose
+// type is a value type (a local pointer, slice, or map may alias state
+// that outlives the loop).
+func (p *prover) localWrite(lhs ast.Expr) bool {
+	if id, ok := lhs.(*ast.Ident); ok {
+		obj := p.objOf(id)
+		return obj != nil && p.locals[obj]
+	}
+	obj := p.baseObjOf(lhs)
+	return obj != nil && p.locals[obj] && !isRef(obj.Type())
+}
+
+// isRef reports whether t can alias memory not owned by the variable
+// holding it.
+func isRef(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Signature, *types.Interface:
+		return true
+	}
+	return false
+}
+
+// exprPure reports whether evaluating e cannot produce side effects or
+// order-dependent values: no calls (except len/cap/min/max and type
+// conversions of pure operands), no channel receives.
+func (p *prover) exprPure(e ast.Expr) bool {
+	pure := true
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if !p.pureCall(n) {
+				pure = false
+				return false
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				pure = false
+				return false
+			}
+		case *ast.FuncLit:
+			pure = false
+			return false
+		}
+		return pure
+	})
+	return pure
+}
+
+// purePkgs lists standard-library packages whose exported functions are
+// free of side effects and process-level nondeterminism, so calling
+// them inside a map-range body cannot make the body order-sensitive.
+var purePkgs = map[string]bool{
+	"strings":      true,
+	"math":         true,
+	"math/bits":    true,
+	"unicode":      true,
+	"unicode/utf8": true,
+	"strconv":      true,
+}
+
+// pureCall accepts len/cap/min/max, type conversions, and calls into
+// the whitelisted pure standard-library packages.
+func (p *prover) pureCall(call *ast.CallExpr) bool {
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		switch id.Name {
+		case "len", "cap", "min", "max":
+			if obj := p.pass.TypesInfo.Uses[id]; obj != nil {
+				_, isBuiltin := obj.(*types.Builtin)
+				return isBuiltin
+			}
+		}
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if pn := p.pass.PkgNameOf(sel.X); pn != nil && purePkgs[pn.Imported().Path()] {
+			return true
+		}
+	}
+	if tv, ok := p.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		return true
+	}
+	return false
+}
+
+// readsAreClean verifies that no accumulator or collect target is read
+// anywhere in the body other than at its own write sites. Reading an
+// accumulator mid-loop (`if count > 3`) makes the control flow depend
+// on visit order.
+func (p *prover) readsAreClean() bool {
+	writers := make(map[*ast.Ident]bool)
+	tracked := make(map[types.Object]bool)
+	for obj, ids := range p.accums {
+		tracked[obj] = true
+		for _, id := range ids {
+			writers[id] = true
+		}
+	}
+	for obj, ids := range p.collects {
+		tracked[obj] = true
+		for _, id := range ids {
+			writers[id] = true
+		}
+	}
+	clean := true
+	ast.Inspect(p.rs.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || writers[id] {
+			return true
+		}
+		if obj := p.pass.TypesInfo.Uses[id]; obj != nil && tracked[obj] {
+			clean = false
+		}
+		return clean
+	})
+	return clean
+}
+
+// sortedLater reports whether the enclosing block sorts the collected
+// slice after the range statement: a sort.X(...) or slices.X(...) call,
+// or a sort.Sort/Stable over a type constructed from it, mentioning the
+// slice object in its arguments.
+func (p *prover) sortedLater(obj types.Object) bool {
+	block := p.pass.EnclosingBlock(p.rs)
+	if block == nil {
+		return false
+	}
+	past := false
+	for _, s := range block.List {
+		if s == ast.Stmt(p.rs) {
+			past = true
+			continue
+		}
+		if !past {
+			continue
+		}
+		es, ok := s.(*ast.ExprStmt)
+		if !ok {
+			continue
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		pn := p.pass.PkgNameOf(sel.X)
+		if pn == nil {
+			continue
+		}
+		if path := pn.Imported().Path(); path != "sort" && path != "slices" {
+			continue
+		}
+		mentions := false
+		for _, a := range call.Args {
+			ast.Inspect(a, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok && p.pass.TypesInfo.Uses[id] == obj {
+					mentions = true
+				}
+				return !mentions
+			})
+		}
+		if mentions {
+			return true
+		}
+	}
+	return false
+}
+
+// appendTo matches the collect shape `lhs = append(lhs, args...)` where
+// lhs is a plain identifier, returning the identifier and the appended
+// arguments.
+func appendTo(lhs, rhs ast.Expr) (*ast.Ident, []ast.Expr, bool) {
+	target, ok := lhs.(*ast.Ident)
+	if !ok {
+		return nil, nil, false
+	}
+	call, ok := rhs.(*ast.CallExpr)
+	if !ok {
+		return nil, nil, false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" || len(call.Args) < 2 {
+		return nil, nil, false
+	}
+	first, ok := call.Args[0].(*ast.Ident)
+	if !ok || first.Name != target.Name {
+		return nil, nil, false
+	}
+	return target, call.Args[1:], true
+}
+
+// identsOf gathers the identifiers within the given expressions that
+// should count as write sites rather than stray reads.
+func identsOf(exprs ...ast.Expr) []*ast.Ident {
+	var ids []*ast.Ident
+	for _, e := range exprs {
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				ids = append(ids, id)
+			}
+			return true
+		})
+	}
+	return ids
+}
+
+// isInteger reports whether t's underlying type is any integer kind.
+func isInteger(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}

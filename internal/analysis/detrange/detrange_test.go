@@ -1,0 +1,12 @@
+package detrange_test
+
+import (
+	"testing"
+
+	"sparsedysta/internal/analysis/analysistest"
+	"sparsedysta/internal/analysis/detrange"
+)
+
+func TestDetrange(t *testing.T) {
+	analysistest.Run(t, "testdata", detrange.Analyzer, "detrange")
+}

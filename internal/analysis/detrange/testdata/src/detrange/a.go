@@ -1,0 +1,141 @@
+// Package detrange is golden input for the detrange analyzer: map
+// traversals that must be flagged, the order-insensitive shapes that
+// must not be, and the //dysta:ordered suppression contract.
+package detrange
+
+import (
+	"sort"
+	"strings"
+)
+
+var sink []string
+
+// Flagged: the append publishes iteration order and nothing re-sorts it.
+func collectWithoutSort(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `range over map m`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Clean: the collect-then-sort idiom.
+func collectThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Clean: collect under a pure condition, sorted via the slices-style
+// sort.Slice form.
+func collectFiltered(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		if strings.HasPrefix(k, "ablation-") {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// Clean: commutative integer accumulation.
+func countValues(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		n += len(vs)
+	}
+	return n
+}
+
+// Clean: writes keyed by the ranged key touch a distinct entry each
+// iteration; the normalise idiom on the value copy is body-local.
+func normalize(m map[string]metrics) {
+	for k, v := range m {
+		v.antt /= float64(v.requests)
+		m[k] = v
+	}
+}
+
+// Clean: per-key deletes.
+func clear2(m map[string]int, dead map[string]bool) {
+	for k := range dead {
+		delete(m, k)
+	}
+}
+
+// Flagged: the early return races against iteration order.
+func firstError(m map[string]error) error {
+	for _, err := range m { // want `range over map m`
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flagged: calling an arbitrary function can observe order.
+func visit(m map[string]int, f func(string)) {
+	for k := range m { // want `range over map m`
+		f(k)
+	}
+}
+
+// Flagged: float accumulation is order-sensitive even though it looks
+// like the counting shape.
+func meanLatency(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want `range over map m`
+		sum += v
+	}
+	return sum / float64(len(m))
+}
+
+// Flagged: reading the accumulator mid-loop makes control flow depend
+// on visit order.
+func cappedCount(m map[string]int) int {
+	n := 0
+	for range m { // want `range over map m`
+		if n > 3 {
+			continue
+		}
+		n++
+	}
+	return n
+}
+
+// Clean: an explicit, justified waiver on the line above.
+func waived(m map[string]int) {
+	//dysta:ordered every entry is printed on its own line and the consumer sorts
+	for k, v := range m {
+		sink = append(sink, k)
+		_ = v
+	}
+}
+
+// Flagged twice: a bare directive both fails to suppress and is itself
+// reported for the missing reason.
+func bareWaiver(m map[string]int) {
+	//dysta:ordered // want `missing its mandatory reason`
+	for k := range m { // want `range over map m`
+		sink = append(sink, k)
+	}
+}
+
+// Clean: a local pointer does not launder an escaping write — this one
+// stays flagged.
+func pointerEscape(m map[string]int, total *float64) {
+	for _, v := range m { // want `range over map m`
+		p := total
+		p2 := p
+		*p2 += float64(v)
+	}
+}
+
+type metrics struct {
+	requests int
+	antt     float64
+}

@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// A Directive is one parsed //dysta: suppression comment.
+//
+// Two forms exist:
+//
+//	//dysta:ordered <reason>          — this map traversal (or this
+//	                                    accumulation) is order-insensitive
+//	                                    for the stated reason
+//	//dysta:allow <analyzer> <reason> — this specific finding of the
+//	                                    named analyzer is intentional
+//
+// A directive suppresses a diagnostic when it sits on the reported
+// line itself or on the line immediately above it. The <reason> is
+// mandatory: a bare directive does not suppress anything and is itself
+// reported, so every waiver in the tree carries its justification.
+type Directive struct {
+	Pos      token.Pos
+	Line     int    // line the comment occupies
+	File     string // file the comment occupies
+	Kind     string // "ordered" or "allow"
+	Analyzer string // target analyzer for "allow", "" for "ordered"
+	Reason   string // justification text; "" means malformed
+}
+
+const directivePrefix = "//dysta:"
+
+// Directives parses and caches every //dysta: comment in the pass's
+// files.
+func (p *Pass) Directives() []Directive {
+	if p.directives != nil {
+		return p.directives
+	}
+	p.directives = []Directive{} // non-nil: parse once even if empty
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, directivePrefix)
+				// Allow analysistest golden files to carry a // want
+				// expectation in the same line comment as a directive.
+				if i := strings.Index(rest, "// want"); i >= 0 {
+					rest = rest[:i]
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				d := Directive{
+					Pos:  c.Pos(),
+					Line: pos.Line,
+					File: pos.Filename,
+				}
+				switch kind := fields[0]; kind {
+				case "ordered":
+					d.Kind = "ordered"
+					d.Reason = strings.TrimSpace(strings.TrimPrefix(rest, "ordered"))
+				case "allow":
+					d.Kind = "allow"
+					if len(fields) >= 2 {
+						d.Analyzer = fields[1]
+						idx := strings.Index(rest, fields[1])
+						d.Reason = strings.TrimSpace(rest[idx+len(fields[1]):])
+					}
+				default:
+					// Unknown //dysta: directives are surfaced rather
+					// than silently ignored, so typos cannot disable a
+					// check.
+					d.Kind = kind
+				}
+				p.directives = append(p.directives, d)
+			}
+		}
+	}
+	return p.directives
+}
+
+// suppressedBy reports whether a matching directive covers pos, and
+// reports malformed matches (missing reason) exactly once as their own
+// diagnostics. match decides whether a well-formed directive applies.
+func (p *Pass) suppressedBy(pos token.Pos, match func(Directive) bool) bool {
+	where := p.Fset.Position(pos)
+	for i := range p.Directives() {
+		d := &p.directives[i]
+		if d.File != where.Filename || (d.Line != where.Line && d.Line != where.Line-1) {
+			continue
+		}
+		if !match(*d) {
+			continue
+		}
+		if d.Reason == "" {
+			// Report through the suppression site once, then blank the
+			// kind so a second finding on the same line does not
+			// duplicate the complaint (the directive still never
+			// suppresses).
+			p.Reportf(d.Pos, "//dysta:%s suppression is missing its mandatory reason", d.Kind)
+			d.Kind = d.Kind + " (reported)"
+			return false
+		}
+		return true
+	}
+	return false
+}
+
+// Ordered reports whether a well-formed //dysta:ordered directive
+// covers pos.
+func (p *Pass) Ordered(pos token.Pos) bool {
+	return p.suppressedBy(pos, func(d Directive) bool { return d.Kind == "ordered" })
+}
+
+// Allowed reports whether a well-formed //dysta:allow directive for
+// this pass's analyzer covers pos.
+func (p *Pass) Allowed(pos token.Pos) bool {
+	return p.suppressedBy(pos, func(d Directive) bool {
+		return d.Kind == "allow" && d.Analyzer == p.Analyzer.Name
+	})
+}

@@ -1,0 +1,171 @@
+// Package floatorder flags floating-point accumulation inside the body
+// of a map range. Float addition is not associative, so `sum += v`
+// driven by map iteration yields a different low-order result every
+// run — the exact hazard sched.NewEstimator documents and works around
+// by accumulating in sorted-model order.
+//
+// The check is independent of detrange on purpose: a range annotated
+// `//dysta:ordered` for a coarse reason still gets its float
+// accumulations reported individually, so a blanket waiver on the loop
+// cannot silently absorb a numeric one. Suppressing a specific
+// accumulation takes a `//dysta:ordered <reason>` on the accumulation's
+// own line (or the line above it).
+package floatorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"sparsedysta/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "floatorder",
+	Doc: "flags floating-point accumulation inside map-range bodies, where " +
+		"non-associative addition order follows the random iteration order",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkBody(pass, rs)
+			// Nested map ranges are visited again by the outer
+			// Inspect, so their accumulations are judged in their own
+			// right; stop here to avoid double-reporting this body.
+			return true
+		})
+	}
+	return nil
+}
+
+// checkBody reports every order-sensitive float accumulation directly
+// inside rs's body (including within nested non-map loops, whose trip
+// order is still driven by the map).
+func checkBody(pass *analysis.Pass, rs *ast.RangeStmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if inner, ok := n.(*ast.RangeStmt); ok && inner != rs {
+			if t := pass.TypeOf(inner.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					return false // the inner map range owns its body
+				}
+			}
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		if target := accumTarget(pass, as); target != "" {
+			if crossesIterations(pass, rs, as) && !pass.Ordered(as.Pos()) {
+				pass.Reportf(as.Pos(), "floating-point accumulation into %s inside a map-range body: "+
+					"addition order follows the nondeterministic iteration order; accumulate over "+
+					"sorted keys (see sched.NewEstimator) or annotate //dysta:ordered <reason>", target)
+			}
+		}
+		return true
+	})
+}
+
+// accumTarget reports the printed lvalue when as is a float
+// accumulation (x += e, x -= e, x *= e, or x = x + e and variants), or
+// "" otherwise.
+func accumTarget(pass *analysis.Pass, as *ast.AssignStmt) string {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return ""
+	}
+	lhs := as.Lhs[0]
+	if !isFloat(pass.TypeOf(lhs)) {
+		return ""
+	}
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN:
+		return types.ExprString(lhs)
+	case token.ASSIGN:
+		// x = x + e / x = e + x, and the - and * forms.
+		bin, ok := as.Rhs[0].(*ast.BinaryExpr)
+		if !ok {
+			return ""
+		}
+		switch bin.Op {
+		case token.ADD, token.SUB, token.MUL:
+		default:
+			return ""
+		}
+		want := types.ExprString(lhs)
+		if types.ExprString(bin.X) == want || types.ExprString(bin.Y) == want {
+			return want
+		}
+	}
+	return ""
+}
+
+// crossesIterations reports whether the accumulation target outlives a
+// single iteration of rs: a variable declared inside the body resets
+// every pass and cannot observe iteration order.
+func crossesIterations(pass *analysis.Pass, rs *ast.RangeStmt, as *ast.AssignStmt) bool {
+	// Strip selector/index layers: agg.ANTT lives exactly as long as
+	// agg does — unless agg can alias longer-lived memory.
+	lhs := as.Lhs[0]
+	stripped := false
+	for {
+		switch x := lhs.(type) {
+		case *ast.SelectorExpr:
+			lhs, stripped = x.X, true
+			continue
+		case *ast.IndexExpr:
+			lhs, stripped = x.X, true
+			continue
+		case *ast.ParenExpr:
+			lhs = x.X
+			continue
+		}
+		break
+	}
+	id, ok := lhs.(*ast.Ident)
+	if !ok {
+		// Dereferences and other indirect lvalues; assume they escape
+		// the iteration.
+		return true
+	}
+	if stripped {
+		if t := pass.TypeOf(id); t != nil {
+			switch t.Underlying().(type) {
+			case *types.Pointer, *types.Slice, *types.Map, *types.Interface:
+				return true
+			}
+		}
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		obj = pass.TypesInfo.Defs[id]
+	}
+	if obj == nil {
+		return true
+	}
+	return obj.Pos() < rs.Body.Pos() || obj.Pos() > rs.Body.End()
+}
+
+// isFloat reports whether t's underlying type is a float or complex
+// kind.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}

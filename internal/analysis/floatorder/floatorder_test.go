@@ -1,0 +1,12 @@
+package floatorder_test
+
+import (
+	"testing"
+
+	"sparsedysta/internal/analysis/analysistest"
+	"sparsedysta/internal/analysis/floatorder"
+)
+
+func TestFloatorder(t *testing.T) {
+	analysistest.Run(t, "testdata", floatorder.Analyzer, "floatorder")
+}

@@ -1,0 +1,97 @@
+// Package floatorder is golden input for the floatorder analyzer.
+package floatorder
+
+// Flagged: the classic non-associativity hazard.
+func sum(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v // want `floating-point accumulation into s`
+	}
+	return s
+}
+
+// Flagged: the spelled-out form and the subtractive form.
+func forms(m map[string]float64) (a, b float64) {
+	for _, v := range m {
+		a = a + v // want `floating-point accumulation into a`
+		b -= v    // want `floating-point accumulation into b`
+	}
+	return a, b
+}
+
+// Flagged: accumulation into longer-lived structured state.
+type agg struct{ total float64 }
+
+func intoField(m map[string]float64, out *agg) {
+	for _, v := range m {
+		out.total += v // want `floating-point accumulation into out.total`
+	}
+}
+
+// Flagged: a nested slice loop inside the map range still follows map
+// order.
+func nested(m map[string][]float64) float64 {
+	var s float64
+	for _, vs := range m {
+		for _, v := range vs {
+			s += v // want `floating-point accumulation into s`
+		}
+	}
+	return s
+}
+
+// Clean: integer accumulation is commutative and exact.
+func count(m map[string][]float64) int {
+	n := 0
+	for _, vs := range m {
+		n += len(vs)
+	}
+	return n
+}
+
+// Clean: the accumulator dies with the iteration — per-key means never
+// observe cross-key order.
+func perKeyMean(m map[string][]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, vs := range m {
+		local := 0.0
+		for _, v := range vs {
+			local += v
+		}
+		out[k] = local / float64(len(vs))
+	}
+	return out
+}
+
+// Clean: a value-typed struct local is iteration-scoped even when the
+// accumulation goes through a field.
+func localStruct(m map[string][]float64) map[string]agg {
+	out := make(map[string]agg, len(m))
+	for k, vs := range m {
+		var a agg
+		for _, v := range vs {
+			a.total += v
+		}
+		out[k] = a
+	}
+	return out
+}
+
+// Clean: accumulation over a slice is ordered by the slice.
+func sliceSum(vs []float64) float64 {
+	var s float64
+	for _, v := range vs {
+		s += v
+	}
+	return s
+}
+
+// Clean: an explicit waiver on the accumulation itself.
+func waived(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m {
+		//dysta:ordered result only feeds a greater-than-zero check
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,59 @@
+// Package gospawn is golden input for the gospawn analyzer. The test
+// registers gospawn.BuildAll and gospawn.Pool.Run as approved sites.
+package gospawn
+
+import "sync"
+
+// Flagged: an ad-hoc goroutine in an ordinary function.
+func fanOut(jobs []func()) {
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func() { // want `go statement in gospawn.fanOut`
+			defer wg.Done()
+			j()
+		}()
+	}
+	wg.Wait()
+}
+
+// Clean: an approved plain-function site.
+func BuildAll(jobs []func()) {
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			j()
+		}()
+	}
+	wg.Wait()
+}
+
+type Pool struct{ jobs chan func() }
+
+// Clean: an approved method site, pointer receiver included.
+func (p *Pool) Run(workers int) {
+	for i := 0; i < workers; i++ {
+		go func() {
+			for j := range p.jobs {
+				j()
+			}
+		}()
+	}
+}
+
+// Flagged: other methods of the same type are not blessed by the
+// receiver.
+func (p *Pool) Drain() {
+	go func() { // want `go statement in gospawn.Pool.Drain`
+		for range p.jobs {
+		}
+	}()
+}
+
+// Clean: a justified waiver.
+func waived(done chan struct{}) {
+	//dysta:allow gospawn fire-and-forget close, joined before any simulation state is read
+	go close(done)
+}

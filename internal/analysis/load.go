@@ -1,0 +1,211 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one typechecked package ready for analysis.
+type Package struct {
+	Path  string // import path
+	Dir   string // directory the files were read from
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// A Loader parses and typechecks packages from source, resolving
+// standard-library imports through GOROOT source and module-local
+// imports (sparsedysta/...) through the module tree. It exists so both
+// the standalone dysta-lint driver and the analysistest harness can
+// typecheck packages without network access, a populated build cache,
+// or golang.org/x/tools.
+type Loader struct {
+	Fset *token.FileSet
+
+	// ModRoot and ModPath locate the enclosing module so that
+	// module-internal import paths resolve from source. Both may be
+	// empty when loading self-contained test packages.
+	ModRoot string
+	ModPath string
+
+	// IncludeTests controls whether _test.go files in the package
+	// directory are parsed and typechecked alongside the package.
+	IncludeTests bool
+
+	std  types.Importer
+	pkgs map[string]*types.Package
+}
+
+// NewLoader returns a Loader rooted at the module containing dir (found
+// by walking up to go.mod); modRoot and modPath stay empty when no
+// module encloses dir.
+func NewLoader(dir string) *Loader {
+	l := &Loader{Fset: token.NewFileSet(), pkgs: make(map[string]*types.Package)}
+	if root, path, err := FindModule(dir); err == nil {
+		l.ModRoot, l.ModPath = root, path
+	}
+	l.std = importer.ForCompiler(l.Fset, "source", nil)
+	return l
+}
+
+// FindModule walks up from dir to the nearest go.mod and returns the
+// module root directory and module path.
+func FindModule(dir string) (root, path string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module"); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("no module line in %s/go.mod", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// Import implements types.Importer: module-local paths load from
+// source, "unsafe" maps to types.Unsafe, and everything else defers to
+// the GOROOT source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.ModPath != "" && (path == l.ModPath || strings.HasPrefix(path, l.ModPath+"/")) {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModPath), "/")
+		pkg, err := l.load(filepath.Join(l.ModRoot, filepath.FromSlash(rel)), path, false)
+		if err != nil {
+			return nil, err
+		}
+		l.pkgs[path] = pkg.Types
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// goFiles lists the package's source files in dir, sorted by name, with
+// _test.go files included only on request.
+func goFiles(dir string, includeTests bool) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		if !includeTests && strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		files = append(files, filepath.Join(dir, name))
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+// Load parses and typechecks the package rooted at dir under the given
+// import path, retaining syntax and type information for analysis.
+func (l *Loader) Load(dir, importPath string) (*Package, error) {
+	return l.load(dir, importPath, l.IncludeTests)
+}
+
+func (l *Loader) load(dir, importPath string, includeTests bool) (*Package, error) {
+	names, err := goFiles(dir, includeTests)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no Go source files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		// External test packages (package foo_test) typecheck
+		// separately; dysta-lint's contracts bind production code, so
+		// they are simply dropped rather than loaded as a second unit.
+		if strings.HasSuffix(f.Name.Name, "_test") && includeTests {
+			continue
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(importPath, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", importPath, err)
+	}
+	return &Package{Path: importPath, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// ModulePackages walks the module tree under root and returns the
+// directories containing at least one non-test Go file, each paired
+// with its import path. testdata, hidden, and underscore-prefixed
+// directories are skipped, matching the go tool's convention.
+func ModulePackages(root, modPath string) (dirs, paths []string, err error) {
+	err = filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		files, err := goFiles(p, false)
+		if err != nil {
+			return err
+		}
+		if len(files) == 0 {
+			return nil
+		}
+		rel, err := filepath.Rel(root, p)
+		if err != nil {
+			return err
+		}
+		importPath := modPath
+		if rel != "." {
+			importPath = modPath + "/" + filepath.ToSlash(rel)
+		}
+		dirs = append(dirs, p)
+		paths = append(paths, importPath)
+		return nil
+	})
+	return dirs, paths, err
+}

@@ -1,0 +1,67 @@
+// Package seedrand forbids math/rand (and math/rand/v2) in favour of
+// the repository's seeded internal/rng substreams. The global
+// math/rand functions share one process-wide source, so two engines
+// drawing from it interleave nondeterministically and every schedule
+// becomes a function of cluster size and goroutine timing; rand.New
+// sources are no better, because nothing ties their seeds to the
+// experiment seed. internal/rng's Split substreams keep engine i's
+// stream independent of how many other engines exist (see
+// cluster.GenChurn).
+package seedrand
+
+import (
+	"go/ast"
+	"go/types"
+
+	"sparsedysta/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "seedrand",
+	Doc: "forbids math/rand global functions and ad-hoc sources; randomness " +
+		"must come from seeded internal/rng substreams",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pn := pass.PkgNameOf(sel.X)
+			if pn == nil {
+				return true
+			}
+			path := pn.Imported().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			// Naming a type (rand.Rand in a signature) draws nothing;
+			// only function and variable references are hazards.
+			if _, isType := pass.TypesInfo.Uses[sel.Sel].(*types.TypeName); isType {
+				return true
+			}
+			if pass.Allowed(sel.Pos()) {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "New", "NewSource", "NewPCG", "NewChaCha8", "NewZipf":
+				pass.Reportf(sel.Pos(), "ad-hoc %s source %s: derive a substream from the experiment "+
+					"seed via internal/rng (rng.New + Source.Split) so per-engine schedules stay "+
+					"independent of cluster size, or annotate //dysta:allow seedrand <reason>",
+					path, sel.Sel.Name)
+			default:
+				pass.Reportf(sel.Pos(), "global %s.%s draws from the shared process-wide source: "+
+					"use a seeded internal/rng substream, or annotate //dysta:allow seedrand <reason>",
+					pn.Name(), sel.Sel.Name)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package seedrand_test
+
+import (
+	"testing"
+
+	"sparsedysta/internal/analysis/analysistest"
+	"sparsedysta/internal/analysis/seedrand"
+)
+
+func TestSeedrand(t *testing.T) {
+	analysistest.Run(t, "testdata", seedrand.Analyzer, "seedrand")
+}

@@ -1,0 +1,34 @@
+// Package seedrand is golden input for the seedrand analyzer.
+package seedrand
+
+import (
+	"math/rand"
+	rv2 "math/rand/v2"
+)
+
+// Flagged: the package-level functions draw from the process-wide
+// shared source.
+func global() int {
+	return rand.Intn(10) // want `global rand.Intn draws from the shared process-wide source`
+}
+
+// Flagged: v2 is the same hazard behind an alias.
+func globalV2() uint64 {
+	return rv2.Uint64() // want `global rv2.Uint64 draws from the shared process-wide source`
+}
+
+// Flagged twice: an ad-hoc source, however it is seeded, is invisible
+// to the experiment seed plumbing.
+func adHoc() *rand.Rand {
+	return rand.New(rand.NewSource(42)) // want `ad-hoc math/rand source New` `ad-hoc math/rand source NewSource`
+}
+
+// Flagged: shuffling through the global source.
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global rand.Shuffle`
+}
+
+// Clean: a justified waiver.
+func waived() float64 {
+	return rand.Float64() //dysta:allow seedrand jitter for a log message, never observed by the simulation
+}

@@ -1,0 +1,40 @@
+// Package wallclock is golden input for the wallclock analyzer.
+package wallclock
+
+import (
+	"time"
+
+	vt "time"
+)
+
+// Flagged: direct wall-clock reads and waits.
+func bad() time.Duration {
+	start := time.Now()          // want `wall-clock time.Now`
+	time.Sleep(time.Millisecond) // want `wall-clock time.Sleep`
+	return time.Since(start)     // want `wall-clock time.Since`
+}
+
+// Flagged: the import alias does not hide the package identity, and a
+// method value counts the same as a call.
+func aliased() func() vt.Time {
+	return vt.Now // want `wall-clock time.Now`
+}
+
+// Clean: durations, parsing, and formatting never touch the clock.
+func durations(d time.Duration) string {
+	if d > 5*time.Millisecond {
+		return d.Round(time.Microsecond).String()
+	}
+	parsed, _ := time.ParseDuration("20ms")
+	return parsed.String()
+}
+
+// Clean: an explicit waiver with its justification.
+func waived() time.Time {
+	return time.Now() //dysta:allow wallclock process start stamp for log file names only
+}
+
+// Flagged: sleeping has no meaning on the virtual clock.
+func sleepy() {
+	time.Sleep(time.Second) // want `wall-clock time.Sleep`
+}

@@ -1,0 +1,63 @@
+// Package wallclock forbids reading the wall clock in virtual-clock
+// packages. The simulation's only time source is the event loop
+// (reference units advanced by sched.Engine.Step); a stray time.Now or
+// time.Sleep couples results to the host machine and breaks
+// cross-process reproducibility. CLI packages under cmd/ are exempt —
+// the suite driver never applies this analyzer there — because wall
+// time is legitimate for progress reporting and bench stamping.
+package wallclock
+
+import (
+	"go/ast"
+
+	"sparsedysta/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "wallclock",
+	Doc: "forbids time.Now/Since/Sleep and friends in virtual-clock packages; " +
+		"simulation time must come from the event loop",
+	Run: run,
+}
+
+// forbidden lists the package-level time functions that read or wait on
+// the wall clock. Pure duration/formatting helpers (ParseDuration,
+// Duration.String) stay allowed: the codebase uses time.Duration as its
+// reference unit everywhere.
+var forbidden = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pn := pass.PkgNameOf(sel.X)
+			if pn == nil || pn.Imported().Path() != "time" || !forbidden[sel.Sel.Name] {
+				return true
+			}
+			if pass.Allowed(sel.Pos()) {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "wall-clock time.%s in a virtual-clock package: simulation time "+
+				"advances only through the event loop; thread a reference-unit instant instead "+
+				"or annotate //dysta:allow wallclock <reason>", sel.Sel.Name)
+			return true
+		})
+	}
+	return nil
+}

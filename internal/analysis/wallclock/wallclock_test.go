@@ -1,0 +1,12 @@
+package wallclock_test
+
+import (
+	"testing"
+
+	"sparsedysta/internal/analysis/analysistest"
+	"sparsedysta/internal/analysis/wallclock"
+)
+
+func TestWallclock(t *testing.T) {
+	analysistest.Run(t, "testdata", wallclock.Analyzer, "wallclock")
+}

@@ -200,10 +200,14 @@ func AverageResults(rs []Result) (Result, error) {
 		meanLat += float64(r.MeanLatency)
 		p99Lat += float64(r.P99Latency)
 		makespan += float64(r.Makespan)
+		// Allocate lazily outside the traversal so nil PerModel still
+		// propagates as nil — and so the loop body stays provably
+		// order-insensitive for dysta-lint's detrange (keyed writes
+		// only, no shared-state initialisation mid-iteration).
+		if len(r.PerModel) > 0 && avg.PerModel == nil {
+			avg.PerModel = map[string]ModelMetrics{}
+		}
 		for name, m := range r.PerModel {
-			if avg.PerModel == nil {
-				avg.PerModel = map[string]ModelMetrics{}
-			}
 			agg := avg.PerModel[name]
 			agg.Requests += m.Requests
 			// Weight per-seed means by their request counts.
