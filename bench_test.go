@@ -241,6 +241,47 @@ func BenchmarkClusterAutoscale(b *testing.B) {
 	}
 }
 
+// BenchmarkClusterStream1M measures the streaming scale anchor: one
+// million requests through 16 Dysta engines with lazy arrivals
+// (workload.NewStream), bounded capture and the heap-backed pick path.
+// The request slice is never materialized, so resident memory stays
+// independent of request count; allocs/op is the number this benchmark
+// exists to pin. 400 req/s (~83% of the 16-engine capacity) keeps the
+// queues in steady state: at or past saturation they grow with the
+// horizon and no capture mode can bound that.
+func BenchmarkClusterStream1M(b *testing.B) {
+	lut, _ := benchWorkload(b)
+	est := sched.NewEstimator(lut)
+	load := cluster.SparsityAwareLoad(lut, est)
+	sc := workload.MultiAttNN()
+	_, eval, err := workload.BuildStores(sc, 30, 100, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := workload.GenConfig{Requests: 1_000_000, RatePerSec: 400, SLOMultiplier: 10, Seed: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src, err := workload.NewStream(sc, eval, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		d := cluster.NewLeastLoad("load", load)
+		res, err := cluster.RunStream(func(int) sched.Scheduler { return core.NewDefault(lut) },
+			src, cluster.Config{
+				Engines:  16,
+				Dispatch: d,
+				Sched:    sched.Options{BoundedCapture: true, ScalablePick: true},
+			})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Requests != cfg.Requests {
+			b.Fatalf("streamed %d of %d requests", res.Requests, cfg.Requests)
+		}
+	}
+}
+
 // BenchmarkScaleEngines regenerates the scale-engines experiment.
 func BenchmarkScaleEngines(b *testing.B) { runExp(b, "scale-engines") }
 

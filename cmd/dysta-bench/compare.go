@@ -13,9 +13,11 @@ import (
 // large ns/op slowdown in the gated entries, so a PR cannot silently
 // regress the hot paths the perf trajectory tracks.
 
-// regressionThreshold is the tolerated ns/op growth before the gate
-// fails: CI runners are noisy, so the gate only catches order-of-change
-// regressions, not percent-level drift.
+// regressionThreshold is the tolerated ns/op (and allocs/op) growth
+// before the gate fails: CI runners are noisy, so the gate only catches
+// order-of-change regressions, not percent-level drift. Allocation
+// counts are deterministic per machine but still share the threshold,
+// since refactors legitimately trade a few allocations around.
 const regressionThreshold = 0.30
 
 // gatedBenchmark reports whether a bench entry is held to the regression
@@ -41,7 +43,8 @@ func readBenchReport(path string) (*BenchReport, error) {
 }
 
 // compareBenchJSON diffs fresh against base and returns an error when any
-// gated benchmark present in both slowed down by more than the threshold.
+// gated benchmark present in both slowed down — in ns/op or in allocs/op
+// — by more than the threshold.
 // Entries only present on one side are reported but never fail the gate
 // (benchmarks are added and retired across PRs); an empty gated
 // intersection is an error, since it means the gate checked nothing.
@@ -80,11 +83,24 @@ func compareBenchJSON(basePath, freshPath string, w io.Writer) error {
 				regressions = append(regressions, fmt.Sprintf(
 					"%s: %.0f -> %.0f ns/op (%+.0f%%)", f.Name, b.NsPerOp, f.NsPerOp, 100*change))
 			}
+			// The memory half of the gate: allocs/op is exact and
+			// machine-independent, so growth past the threshold means the
+			// code genuinely allocates more — the failure mode a streaming
+			// bounded-memory path must never reintroduce. Baselines written
+			// before the field existed carry 0 and are skipped.
+			if b.AllocsPerOp > 0 {
+				achange := float64(f.AllocsPerOp)/float64(b.AllocsPerOp) - 1
+				if achange > regressionThreshold {
+					status = "REGRESSION"
+					regressions = append(regressions, fmt.Sprintf(
+						"%s: %d -> %d allocs/op (%+.0f%%)", f.Name, b.AllocsPerOp, f.AllocsPerOp, 100*achange))
+				}
+			}
 		} else {
 			status = "not gated"
 		}
-		fmt.Fprintf(w, "%-22s %12.0f -> %12.0f ns/op  %+6.1f%%  %s\n",
-			f.Name, b.NsPerOp, f.NsPerOp, 100*change, status)
+		fmt.Fprintf(w, "%-22s %12.0f -> %12.0f ns/op  %+6.1f%%  %8d -> %8d allocs/op  %s\n",
+			f.Name, b.NsPerOp, f.NsPerOp, 100*change, b.AllocsPerOp, f.AllocsPerOp, status)
 	}
 	for name := range baseline {
 		fmt.Fprintf(w, "%-22s retired (in baseline only)\n", name)

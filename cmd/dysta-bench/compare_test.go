@@ -57,6 +57,38 @@ func TestCompareBenchJSON(t *testing.T) {
 		t.Errorf("regression error does not name the benchmark: %v", err)
 	}
 
+	// The allocation half of the gate: a gated entry whose ns/op holds
+	// steady but whose allocs/op grew past the threshold still fails —
+	// the bounded-memory regressions the streaming path guards against
+	// rarely show up as time on a fast machine.
+	allocBase := writeReport(t, dir, "alloc-base.json", []BenchRecord{
+		{Name: "ClusterDysta", NsPerOp: 2000, AllocsPerOp: 1000},
+	})
+	allocBad := writeReport(t, dir, "alloc-bad.json", []BenchRecord{
+		{Name: "ClusterDysta", NsPerOp: 2000, AllocsPerOp: 1400}, // +40% allocs
+	})
+	err = compareBenchJSON(allocBase, allocBad, &strings.Builder{})
+	if err == nil {
+		t.Fatal("40% allocs/op growth passed the gate")
+	}
+	if !strings.Contains(err.Error(), "allocs/op") {
+		t.Errorf("alloc regression error does not name the unit: %v", err)
+	}
+	allocOK := writeReport(t, dir, "alloc-ok.json", []BenchRecord{
+		{Name: "ClusterDysta", NsPerOp: 2000, AllocsPerOp: 1200}, // +20%: inside threshold
+	})
+	if err := compareBenchJSON(allocBase, allocOK, &strings.Builder{}); err != nil {
+		t.Fatalf("within-threshold alloc growth failed: %v", err)
+	}
+	// Baselines predating the allocs field carry 0 and must not divide
+	// by it or flag every fresh run.
+	zeroBase := writeReport(t, dir, "zero-base.json", []BenchRecord{
+		{Name: "ClusterDysta", NsPerOp: 2000},
+	})
+	if err := compareBenchJSON(zeroBase, allocBad, &strings.Builder{}); err != nil {
+		t.Fatalf("zero-alloc baseline tripped the alloc gate: %v", err)
+	}
+
 	// A comparison whose gated intersection is empty gates nothing and
 	// must fail loudly rather than green-light the PR.
 	empty := writeReport(t, dir, "empty.json", []BenchRecord{

@@ -47,13 +47,16 @@ func main() {
 		traffic   = flag.String("traffic", "", "override the arrival process: poisson, mmpp, diurnal, replay:PATH (empty = per-experiment default)")
 		burst     = flag.Float64("burst", 0, "mmpp burst-to-quiet rate ratio (0 = default 8, with -traffic mmpp)")
 		autoscale = flag.Bool("autoscale", false, "scale the live engine set between -scale-min and -scale-max with the SLO-driven policy")
+		stream    = flag.Bool("stream", false, "override: stream arrivals from the generator instead of materializing each cell's request slice (bit-identical schedules)")
+		capture   = flag.String("capture", "", "override the result capture mode: full or bounded (empty = per-experiment default)")
+		scalPick  = flag.Bool("scalable-pick", false, "override: use the heap-backed sublinear scheduling-pick path for schedulers that support it")
 		scaleMin  = flag.Int("scale-min", 0, "autoscaler lower bound on live engines (0 = 1, with -autoscale)")
 		scaleMax  = flag.Int("scale-max", 0, "autoscaler upper bound on live engines (0 = cluster size, with -autoscale)")
 		outDir    = flag.String("out", "", "also write each experiment's output to <dir>/<id>.txt")
 		benchJSON = flag.Bool("json", false,
 			"run the hot-path micro-benchmarks and write BENCH_<date>.json (to -out dir, or cwd)")
 		benchCompare = flag.String("bench-compare", "",
-			"compare two BENCH_*.json files, \"baseline.json,fresh.json\": exit nonzero on a >30% ns/op slowdown in any Engine*/Cluster* entry (the CI regression gate)")
+			"compare two BENCH_*.json files, \"baseline.json,fresh.json\": exit nonzero on a >30% ns/op or allocs/op growth in any Engine*/Cluster* entry (the CI regression gate)")
 	)
 	flag.Parse()
 
@@ -163,6 +166,11 @@ func main() {
 	opts.Autoscale = *autoscale
 	opts.ScaleMin = *scaleMin
 	opts.ScaleMax = *scaleMax
+	opts.Stream = *stream
+	if *capture != "" {
+		opts.Capture = *capture
+	}
+	opts.ScalablePick = *scalPick
 	// Traffic/autoscaler flags that only make sense together (e.g. -burst
 	// without -traffic mmpp, -scale-min above -scale-max) fail here.
 	if err := opts.Validate(); err != nil {

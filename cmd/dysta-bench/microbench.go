@@ -199,6 +199,40 @@ func runMicroBenchmarks() ([]BenchRecord, error) {
 				}
 			}
 		}},
+		{"ClusterStream1M", func(b *testing.B) {
+			// The streaming scale anchor: one million requests through 16
+			// Dysta engines with lazy arrivals, bounded capture and the
+			// heap-backed pick path — the configuration whose memory use
+			// must stay independent of request count. The request slice is
+			// never materialized; each iteration re-opens the generator.
+			// 400 req/s (~83% of the 16-engine capacity) keeps queues in
+			// steady state: at or past saturation they grow with the
+			// horizon and no capture mode can bound that.
+			load := cluster.SparsityAwareLoad(lut, est)
+			cfg := workload.GenConfig{
+				Requests: 1_000_000, RatePerSec: 400, SLOMultiplier: 10, Seed: 1}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				src, err := workload.NewStream(workload.MultiAttNN(), evalStore, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				d := cluster.NewLeastLoad("load", load)
+				res, err := cluster.RunStream(func(int) sched.Scheduler { return core.NewDefault(lut) },
+					src, cluster.Config{
+						Engines:  16,
+						Dispatch: d,
+						Sched:    sched.Options{BoundedCapture: true, ScalablePick: true},
+					})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Requests != cfg.Requests {
+					b.Fatalf("streamed %d of %d requests", res.Requests, cfg.Requests)
+				}
+			}
+		}},
 		{"PredictorStep", func(b *testing.B) {
 			st := lut.MustLookup(trace.Key{Model: "bert", Pattern: sparsity.Dense})
 			p := core.NewPredictor(core.DefaultConfig(), st)

@@ -61,6 +61,9 @@ func main() {
 		trafArg  = flag.String("traffic", "", "arrival process: poisson (default), mmpp (bursty), diurnal (day/night rate curve), replay:PATH (recorded arrivals CSV)")
 		burst    = flag.Float64("burst", 0, "mmpp burst-to-quiet rate ratio (0 = default 8, with -traffic mmpp)")
 		autoscl  = flag.Bool("autoscale", false, "scale the live engine set between -scale-min and -scale-max with the SLO-driven policy (drains idle engines, re-joins them under load)")
+		stream   = flag.Bool("stream", false, "stream arrivals from the generator instead of materializing the request slice (bit-identical schedules; combine with -capture bounded for memory independent of -requests)")
+		capture  = flag.String("capture", "full", "result capture mode: full (per-request outcomes) or bounded (constant-size streaming aggregates; percentiles from a ~3%-error histogram)")
+		scalPick = flag.Bool("scalable-pick", false, "use the heap-backed sublinear scheduling-pick path for schedulers that support it (Dysta, SDRM3 exact; PREMA documented-approximate)")
 		scaleMin = flag.Int("scale-min", 0, "autoscaler lower bound on live engines (0 = 1, with -autoscale)")
 		scaleMax = flag.Int("scale-max", 0, "autoscaler upper bound on live engines (0 = cluster size, with -autoscale)")
 		eta      = flag.Float64("eta", core.DefaultConfig().Eta, "Dysta eta (dynamic slack weight)")
@@ -163,6 +166,9 @@ func main() {
 		Autoscale:         *autoscl,
 		ScaleMin:          *scaleMin,
 		ScaleMax:          *scaleMax,
+		Stream:            *stream,
+		Capture:           *capture,
+		ScalablePick:      *scalPick,
 	}
 	// Traffic/autoscaler flags that only make sense together (e.g. -burst
 	// without -traffic mmpp, -scale-min above -scale-max, bounds exceeding
@@ -245,6 +251,15 @@ func main() {
 			}
 		}
 		fmt.Printf("  autoscale %d..%d engines", min, max)
+	}
+	if *stream {
+		fmt.Print("  streaming arrivals")
+	}
+	if *capture == "bounded" {
+		fmt.Print("  bounded capture")
+	}
+	if *scalPick {
+		fmt.Print("  scalable picks")
 	}
 	fmt.Print("\n\n")
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)

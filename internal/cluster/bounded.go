@@ -1,0 +1,127 @@
+package cluster
+
+import (
+	"time"
+
+	"sparsedysta/internal/sched"
+	"sparsedysta/internal/stats"
+)
+
+// boundedAgg is the cluster-wide analogue of the engine's bounded-capture
+// aggregates: constant-size accumulators fed one TaskOutcome at a time by
+// the engines' Observer hooks, replacing the union-of-Tasks pass that
+// aggregate() runs in full-capture mode. Observers fire inside Step at
+// each completion instant, and the cluster commits engine events in one
+// global deterministic order, so the float sums below accumulate in
+// cluster-wide completion order — deterministic across runs and workers,
+// but a different summation order from aggregate()'s task-ID order, so
+// bounded cluster means match full-capture ones only up to float
+// rounding (the equivalence tests compare with a tolerance, not
+// bit-identity; single-engine runs have no union to re-order and stay
+// exact). Completions on incarnations that later crash are covered
+// automatically: their observers fired before the crash sealed them.
+type boundedAgg struct {
+	n            int
+	turnSum      float64
+	latSum       float64
+	violations   int
+	firstArrival time.Duration // earliest arrival among completed requests
+	haveFirst    bool
+	lastDone     time.Duration
+	latHist      *stats.DurationHist
+	perModel     map[string]sched.ModelMetrics
+	exemplars    *stats.Reservoir[sched.TaskOutcome]
+
+	// movedFn, when bound to Rebalancer.Moved, resolves migration
+	// win/loss at each completion instant — a moved request migrates
+	// strictly before it first runs, so its fate is settled by the time
+	// the observer sees it. Full-capture mode computes the same split
+	// post-hoc from Result.Tasks, which bounded mode never records.
+	movedFn func(id int) bool
+	wins    int
+	losses  int
+}
+
+// newBoundedAgg sizes the accumulators; k == 0 disables exemplars.
+func newBoundedAgg(k int, seed uint64) *boundedAgg {
+	a := &boundedAgg{
+		latHist:  &stats.DurationHist{},
+		perModel: map[string]sched.ModelMetrics{},
+	}
+	if k > 0 {
+		a.exemplars = stats.NewReservoir[sched.TaskOutcome](k, seed)
+	}
+	return a
+}
+
+// note folds one completion into the aggregates.
+func (a *boundedAgg) note(o sched.TaskOutcome) {
+	a.n++
+	ntt := o.NTT
+	lat := o.Completion - o.Arrival
+	a.turnSum += ntt
+	a.latSum += float64(lat)
+	a.latHist.Add(lat)
+	if o.Violated {
+		a.violations++
+	}
+	if !a.haveFirst || o.Arrival < a.firstArrival {
+		a.haveFirst, a.firstArrival = true, o.Arrival
+	}
+	if o.Completion > a.lastDone {
+		a.lastDone = o.Completion
+	}
+	m := a.perModel[o.Model]
+	m.Requests++
+	m.ANTT += ntt
+	if o.Violated {
+		m.ViolationRate++
+	}
+	a.perModel[o.Model] = m
+	if a.exemplars != nil {
+		a.exemplars.Add(o)
+	}
+	if a.movedFn != nil && a.movedFn(o.ID) {
+		if o.Violated {
+			a.losses++
+		} else {
+			a.wins++
+		}
+	}
+}
+
+// finish assembles the cluster-wide sched.Result from the aggregates,
+// with aggregate()'s metric definitions: the makespan spans the earliest
+// completed arrival to the last completion, and the latency percentiles
+// come from the log-bucketed histogram (nearest-rank bucket upper bound,
+// upward bias at most one bucket width, ~3%).
+func (a *boundedAgg) finish(scheduler string) sched.Result {
+	res := sched.Result{Scheduler: scheduler}
+	if a.n == 0 {
+		return res
+	}
+	n := float64(a.n)
+	res.Requests = a.n
+	res.Violations = a.violations
+	res.ANTT = a.turnSum / n
+	res.ViolationRate = float64(a.violations) / n
+	res.MeanLatency = time.Duration(a.latSum / n)
+	res.P50Latency = a.latHist.Quantile(50)
+	res.P95Latency = a.latHist.Quantile(95)
+	res.P99Latency = a.latHist.Quantile(99)
+	res.Makespan = a.lastDone - a.firstArrival
+	if res.Makespan > 0 {
+		res.Throughput = n / res.Makespan.Seconds()
+		res.Goodput = float64(a.n-a.violations) / res.Makespan.Seconds()
+	}
+	res.PerModel = map[string]sched.ModelMetrics{}
+	for name, m := range a.perModel {
+		m.ANTT /= float64(m.Requests)
+		m.ViolationRate /= float64(m.Requests)
+		res.PerModel[name] = m
+	}
+	if a.exemplars != nil {
+		res.Exemplars = append([]sched.TaskOutcome(nil), a.exemplars.Items()...)
+	}
+	return res
+}

@@ -294,6 +294,21 @@ func newFaultInjector(plan *ChurnPlan, engines []*sched.Engine, specs []EngineSp
 	return fi, nil
 }
 
+// note registers a request the run is about to inject, so a later crash
+// of its engine can re-dispatch the displaced task. The slice path
+// prebuilds the whole map in newFaultInjector; the streaming path calls
+// note per injection instead, which — paired with forget — keeps the map
+// bounded by the in-flight set rather than the stream length. Lookups
+// only ever target incomplete injected requests, so the two populations
+// are interchangeable.
+func (fi *faultInjector) note(r *workload.Request) { fi.reqByID[r.ID] = r }
+
+// forget drops a completed request from the displaced-work map: a
+// completed request can never be displaced again, so the entry is dead
+// weight. Wired into the engines' Observer hook whenever the injector is
+// armed.
+func (fi *faultInjector) forget(id int) { delete(fi.reqByID, id) }
+
 // up reports whether the slot is in service — what the SignalBoard
 // publishes (at refresh instants) and what placement requires. Draining
 // engines are down for placement purposes: they finish what they hold
@@ -419,9 +434,10 @@ func (fi *faultInjector) crash(i int, at time.Duration) error {
 	}
 	fi.priorBusy[i] += e.BusyTime()
 	fi.sealed = append(fi.sealed, e.Finish())
-	opts := fi.specs[i].Sched
-	opts.RecordTasks = true // mirrors Run's unconditional outcome recording
-	fi.engines[i] = sched.NewEngine(fi.newSched(i), opts)
+	// The specs carry the run's resolved capture options (outcome
+	// recording in full mode, the bounded observer wiring otherwise), so
+	// a replacement incarnation reports exactly like the one it replaces.
+	fi.engines[i] = sched.NewEngine(fi.newSched(i), fi.specs[i].Sched)
 	fi.setState(i, stateFailed, at)
 
 	// Queued work just fails over; started work lost its activations

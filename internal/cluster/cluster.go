@@ -73,7 +73,11 @@ type Config struct {
 	// exactly the fixed-size code path, bit-identically.
 	Autoscale *Autoscaler
 	// Sched tunes each engine of a homogeneous cluster (ignored for
-	// engines covered by Specs).
+	// engines covered by Specs). With Sched.BoundedCapture set the
+	// cluster-wide aggregate is computed from constant-size streaming
+	// accumulators instead of the union of per-task outcomes, so a run's
+	// memory no longer grows with the stream length; Sched.Exemplars
+	// then sizes the cluster-wide exemplar reservoir.
 	Sched sched.Options
 }
 
@@ -145,12 +149,89 @@ type Result struct {
 // instant, every engine has committed exactly the layers it would have
 // started before that instant.
 func Run(newSched func(engine int) sched.Scheduler, reqs []*workload.Request, cfg Config) (Result, error) {
+	if len(reqs) == 0 {
+		if _, err := cfg.engineSpecs(); err != nil {
+			return Result{}, err
+		}
+		return Result{}, fmt.Errorf("cluster: empty request stream")
+	}
+	sorted := append([]*workload.Request(nil), reqs...)
+	workload.SortByArrival(sorted)
+	return runCluster(newSched, sched.NewSliceSource(sorted), sorted, cfg)
+}
+
+// RunStream is Run over a request iterator: requests are consumed one at
+// a time in arrival order and never materialized, so with bounded
+// capture (Config.Sched.BoundedCapture) a run's memory is governed by
+// the in-flight set, not the stream length. The schedule — and with
+// matching capture options the Result — is bit-identical to Run on the
+// materialized stream, because the arrival loop already consumed its
+// input strictly in arrival order; the equivalence tests pin this.
+// Sources yielding out-of-order arrivals fail the run.
+func RunStream(newSched func(engine int) sched.Scheduler, src sched.RequestSource, cfg Config) (Result, error) {
+	return runCluster(newSched, src, nil, cfg)
+}
+
+// runCluster is the shared implementation behind Run and RunStream.
+// materialized is the already-sorted request slice on the slice path and
+// nil on the streaming path; it only feeds the fault injector's upfront
+// displaced-work map — the streaming path registers requests at
+// injection instead (and both paths unregister at completion), so the
+// lookups the failover machinery performs are identical.
+func runCluster(newSched func(engine int) sched.Scheduler, src sched.RequestSource,
+	materialized []*workload.Request, cfg Config) (Result, error) {
 	specs, err := cfg.engineSpecs()
 	if err != nil {
 		return Result{}, err
 	}
-	if len(reqs) == 0 {
+	req, ok := src.Next()
+	if !ok {
 		return Result{}, fmt.Errorf("cluster: empty request stream")
+	}
+	// Capture mode is a cluster-wide property: the full-capture
+	// aggregate needs every engine's outcomes and the bounded one needs
+	// every engine's observer, so a mix has no consistent aggregation.
+	bounded := specs[0].Sched.BoundedCapture
+	for i := range specs {
+		if specs[i].Sched.BoundedCapture != bounded {
+			return Result{}, fmt.Errorf("cluster: engine specs mix bounded and full capture")
+		}
+	}
+	// wantTasks snapshots the caller's recording request before the
+	// capture forcing below, for the post-aggregation stripping.
+	wantTasks := make([]bool, len(specs))
+	for i := range wantTasks {
+		wantTasks[i] = specs[i].Sched.RecordTasks
+	}
+	var agg *boundedAgg
+	if bounded {
+		agg = newBoundedAgg(cfg.Sched.Exemplars, cfg.Sched.ExemplarSeed)
+	}
+	// fiRef is bound after the injector is armed; the observers close
+	// over it so replacement incarnations (built from these same specs)
+	// inherit the wiring.
+	var fiRef *faultInjector
+	for i := range specs {
+		if !bounded {
+			// Full capture: engines record per-task outcomes regardless of
+			// the caller's options — the cluster-wide latency percentiles
+			// need every request's turnaround, not per-engine summaries.
+			// The extra field is stripped below when the caller didn't ask
+			// for it.
+			specs[i].Sched.RecordTasks = true
+		}
+		user := specs[i].Sched.Observer
+		specs[i].Sched.Observer = func(o sched.TaskOutcome) {
+			if user != nil {
+				user(o)
+			}
+			if agg != nil {
+				agg.note(o)
+			}
+			if fiRef != nil {
+				fiRef.forget(o.ID)
+			}
+		}
 	}
 	dispatch := cfg.Dispatch
 	if dispatch == nil {
@@ -164,15 +245,9 @@ func Run(newSched func(engine int) sched.Scheduler, reqs []*workload.Request, cf
 		admission = AdmitAll{}
 	}
 
-	// Engines record per-task outcomes regardless of the caller's
-	// options: the cluster-wide latency percentiles need every request's
-	// turnaround, not per-engine summaries. The extra field is stripped
-	// below when the caller didn't ask for it.
 	engines := make([]*sched.Engine, len(specs))
 	for i := range engines {
-		engOpts := specs[i].Sched
-		engOpts.RecordTasks = true
-		engines[i] = sched.NewEngine(newSched(i), engOpts)
+		engines[i] = sched.NewEngine(newSched(i), specs[i].Sched)
 	}
 
 	// Migration is active only with a real policy and a positive
@@ -209,6 +284,9 @@ func Run(newSched func(engine int) sched.Scheduler, reqs []*workload.Request, cf
 		rb = newRebalancer(cfg.Rebalance, engines, load,
 			cfg.RebalanceInterval, cfg.MigrationCost, cfg.MigrationBudget)
 	}
+	if agg != nil && rb != nil {
+		agg.movedFn = rb.Moved
+	}
 
 	// Fault injection is armed only when the plan has events; a churn-free
 	// run never consults the injector (the bit-identity anchor). The
@@ -225,10 +303,11 @@ func Run(newSched func(engine int) sched.Scheduler, reqs []*workload.Request, cf
 			plan = &ChurnPlan{}
 		}
 		fi, err = newFaultInjector(plan, engines, specs, newSched,
-			board, dispatch, reqs, cfg.MigrationCost, cfg.RetryMax)
+			board, dispatch, materialized, cfg.MigrationCost, cfg.RetryMax)
 		if err != nil {
 			return Result{}, err
 		}
+		fiRef = fi
 		if rb != nil {
 			rb.bindLiveness(fi.up)
 		}
@@ -244,23 +323,25 @@ func Run(newSched func(engine int) sched.Scheduler, reqs []*workload.Request, cf
 		}
 	}
 
-	// advance commits every engine event strictly before `until`, in
-	// (event time, engine index) order; drain commits every remaining
-	// event (no sentinel instant that could shadow a real event).
-	next := func(until time.Duration, bounded bool) int {
-		best := -1
-		var bestT time.Duration
-		for i, e := range engines {
-			t, ok := e.NextEvent()
-			if !ok || (bounded && t >= until) {
-				continue
-			}
-			if best < 0 || t < bestT {
-				best, bestT = i, t
-			}
-		}
-		return best
+	// evq keeps every engine's next event in an indexed min-heap keyed
+	// (time, engine index) — the same (first-lowest-time, lowest-index)
+	// order the linear scan it replaces produced, now at O(log n) per
+	// data-plane event. Data-plane mutations touch exactly one engine
+	// (Step, Inject), so the loop re-syncs just that slot; control-plane
+	// actions (churn firings, rebalance rounds, autoscaler actions) can
+	// mutate arbitrary engines — or replace incarnations in the shared
+	// slice — so those rare instants resync the whole heap.
+	evq := newEventHeap(len(engines))
+	sync := func(i int) {
+		t, ok := engines[i].NextEvent()
+		evq.set(i, t, ok)
 	}
+	syncAll := func() {
+		for i := range engines {
+			sync(i)
+		}
+	}
+
 	// run commits engine events (all of them, or only those strictly
 	// before `until`), interleaving rebalance rounds when migration is
 	// active: a round fires just before committing an event whose
@@ -275,61 +356,69 @@ func Run(newSched func(engine int) sched.Scheduler, reqs []*workload.Request, cf
 	// most, since the tail of a misrouted queue is exactly what idle
 	// engines can absorb. Migration can only delay the earliest event
 	// (adoptions become visible at instant + cost), never rewind it.
-	run := func(until time.Duration, bounded bool) error {
+	run := func(until time.Duration, boundedRun bool) error {
 		for {
-			best := next(until, bounded)
+			best, bestT, okb := evq.min()
+			if okb && boundedRun && bestT >= until {
+				okb = false
+			}
 			// Churn events interleave with engine events in global time
 			// order, firing first at equal instants: the control plane
 			// acts before the data plane, so a layer "completing" at the
 			// exact crash instant dies with the accelerator. A failure can
 			// reshape the event horizon (the crashed engine's events
-			// vanish, adopters gain some), so re-evaluate from scratch
-			// after each firing. In the unbounded drain this also fires
-			// events past the last engine event — the recovery that
-			// un-parks work stranded by an all-engines-down window.
+			// vanish, adopters gain some), so resync every slot and
+			// re-evaluate from scratch after each firing. In the unbounded
+			// drain this also fires events past the last engine event —
+			// the recovery that un-parks work stranded by an
+			// all-engines-down window.
 			if fi != nil {
-				if ct, ok := fi.peek(); ok && (!bounded || ct < until) {
-					due := best < 0
-					if !due {
-						bt, _ := engines[best].NextEvent()
-						due = ct <= bt
-					}
-					if due {
+				if ct, okc := fi.peek(); okc && (!boundedRun || ct < until) {
+					if !okb || ct <= bestT {
 						if err := fi.fireUpTo(ct); err != nil {
 							return err
 						}
+						syncAll()
 						continue
 					}
 				}
 			}
-			if best < 0 {
+			if !okb {
 				return nil
 			}
-			if rb != nil {
-				if at, _ := engines[best].NextEvent(); rb.due(at) {
-					if err := rb.rebalance(at); err != nil {
-						return err
-					}
-					// Migration may have reshaped the event horizon —
-					// possibly past a pending churn instant — so restart
-					// the scan instead of stepping a stale pick. The
-					// round just fired, so rb.due is false and this
-					// cannot loop.
-					continue
+			if rb != nil && rb.due(bestT) {
+				if err := rb.rebalance(bestT); err != nil {
+					return err
 				}
+				// Migration may have reshaped the event horizon —
+				// possibly past a pending churn instant — so resync and
+				// restart the scan instead of stepping a stale pick. The
+				// round just fired, so rb.due is false and this cannot
+				// loop.
+				syncAll()
+				continue
 			}
 			if _, err := engines[best].Step(); err != nil {
 				return err
 			}
+			sync(best)
 		}
 	}
 	advance := func(until time.Duration) error { return run(until, true) }
 	drain := func() error { return run(0, false) }
 
 	rejected := 0
-	sorted := append([]*workload.Request(nil), reqs...)
-	workload.SortByArrival(sorted)
-	for _, r := range sorted {
+	offered := 0
+	var lastArrival int64 = -1
+	for ; ok; req, ok = src.Next() {
+		r := req
+		if int64(r.Arrival) < lastArrival {
+			return Result{}, fmt.Errorf(
+				"cluster: request stream yielded request %d at %v after an arrival at %v (stream must be sorted)",
+				r.ID, r.Arrival, time.Duration(lastArrival))
+		}
+		lastArrival = int64(r.Arrival)
+		offered++
 		if err := advance(r.Arrival); err != nil {
 			return Result{}, err
 		}
@@ -338,14 +427,18 @@ func Run(newSched func(engine int) sched.Scheduler, reqs []*workload.Request, cf
 		// request arrives at a cluster that has already lost — or
 		// regained — the engine.
 		if fi != nil {
-			if err := fi.fireUpTo(r.Arrival); err != nil {
-				return Result{}, err
+			if at, okc := fi.peek(); okc && at <= r.Arrival {
+				if err := fi.fireUpTo(r.Arrival); err != nil {
+					return Result{}, err
+				}
+				syncAll()
 			}
 		}
 		if rb != nil && rb.due(r.Arrival) {
 			if err := rb.rebalance(r.Arrival); err != nil {
 				return Result{}, err
 			}
+			syncAll()
 		}
 		sig := board.Observe(r.Arrival)
 		// The autoscaler evaluates exactly once per snapshot refresh —
@@ -360,6 +453,7 @@ func Run(newSched func(engine int) sched.Scheduler, reqs []*workload.Request, cf
 			if err := sc.evaluate(sig, r.Arrival); err != nil {
 				return Result{}, err
 			}
+			syncAll()
 		}
 		if !admission.Admit(sig, r, r.Arrival) {
 			rejected++
@@ -376,16 +470,20 @@ func Run(newSched func(engine int) sched.Scheduler, reqs []*workload.Request, cf
 		// request is refused outright (the 503 of a serving stack),
 		// counted with the admission rejections, never silently dropped.
 		if fi != nil {
-			live, ok := fi.resolve(idx)
-			if !ok {
+			live, okr := fi.resolve(idx)
+			if !okr {
 				rejected++
 				continue
 			}
 			idx = live
+			if materialized == nil {
+				fi.note(r)
+			}
 		}
 		if err := engines[idx].Inject(r, r.Arrival); err != nil {
 			return Result{}, err
 		}
+		sync(idx)
 	}
 	if err := drain(); err != nil {
 		return Result{}, err
@@ -414,13 +512,28 @@ func Run(newSched func(engine int) sched.Scheduler, reqs []*workload.Request, cf
 	if fi != nil && len(fi.sealed) > 0 {
 		combined = append(append([]sched.Result(nil), fi.sealed...), res.PerEngine...)
 	}
-	res.Result = aggregate(combined)
+	if agg != nil && len(combined) > 1 {
+		// Bounded capture: the cluster-wide metrics come from the
+		// streaming accumulators the observers fed — there is no outcome
+		// union to fold. The per-incarnation counters that aggregate()
+		// sums are summed the same way here. A single incarnation passes
+		// through aggregate()'s verbatim path below instead, mirroring
+		// the full-capture single-engine anchor.
+		res.Result = agg.finish(combined[0].Scheduler)
+		for _, r := range combined {
+			res.Result.Preemptions += r.Preemptions
+			res.Result.Dropped += r.Dropped
+		}
+	} else {
+		res.Result = aggregate(combined)
+	}
 	res.Result.Rejected = rejected
 	// The cluster's offered load is the full request stream: rejected
 	// requests never reach an engine, so the per-engine Offered counters
-	// (injections) exclude them. Overriding from len(reqs) keeps the
-	// outcome conservation identity closed at the cluster level.
-	res.Result.Offered = len(reqs)
+	// (injections) exclude them. Overriding from the consumed stream
+	// length keeps the outcome conservation identity closed at the
+	// cluster level.
+	res.Result.Offered = offered
 	if fi != nil {
 		res.Result.LostWork = fi.lost
 		res.Result.Failovers = fi.failovers
@@ -442,29 +555,35 @@ func Run(newSched func(engine int) sched.Scheduler, reqs []*workload.Request, cf
 		res.Result.ScaleDowns = sc.downs
 	}
 	if rb != nil {
-		// Win/loss accounting over the union of outcomes (recorded
-		// unconditionally above): did each moved request ultimately make
-		// its SLO? Read before the RecordTasks stripping below.
+		// Win/loss accounting: did each moved request ultimately make
+		// its SLO? Full capture reads the union of outcomes (recorded
+		// unconditionally above) before the RecordTasks stripping below;
+		// bounded capture resolved each completion against rb.Moved at
+		// its completion instant, since no outcomes survive the run.
 		res.Rebalance = rb.policy.Name()
 		res.Migrations = rb.Migrations()
-		for _, o := range res.Result.Tasks {
-			if !rb.Moved(o.ID) {
-				continue
-			}
-			if o.Violated {
-				res.MigrationLosses++
-			} else {
-				res.MigrationWins++
+		if agg != nil {
+			res.MigrationWins, res.MigrationLosses = agg.wins, agg.losses
+		} else {
+			for _, o := range res.Result.Tasks {
+				if !rb.Moved(o.ID) {
+					continue
+				}
+				if o.Violated {
+					res.MigrationLosses++
+				} else {
+					res.MigrationWins++
+				}
 			}
 		}
 	}
-	// Strip the outcomes the caller never asked for: engines record them
-	// unconditionally (the aggregation above needs them), but the caller's
-	// request lives in the per-spec options (which mirror cfg.Sched on the
-	// homogeneous path).
+	// Strip the outcomes the caller never asked for: full-capture engines
+	// record them unconditionally (the aggregation above needs them), but
+	// the caller's request lives in the pre-forcing snapshot (which
+	// mirrors cfg.Sched on the homogeneous path).
 	anyTasks := false
 	for i := range specs {
-		if specs[i].Sched.RecordTasks {
+		if wantTasks[i] {
 			anyTasks = true
 		} else {
 			res.PerEngine[i].Tasks = nil
@@ -595,6 +714,8 @@ func aggregate(per []sched.Result) sched.Result {
 	agg.ANTT = stats.Mean(ratios)
 	agg.ViolationRate = float64(violations) / float64(len(outcomes))
 	agg.MeanLatency = time.Duration(stats.Mean(latencies))
+	agg.P50Latency = time.Duration(stats.Percentile(latencies, 50))
+	agg.P95Latency = time.Duration(stats.Percentile(latencies, 95))
 	agg.P99Latency = time.Duration(stats.Percentile(latencies, 99))
 	agg.Makespan = lastDone - firstArrival
 	if agg.Makespan > 0 {

@@ -1,0 +1,133 @@
+package cluster
+
+import "time"
+
+// eventHeap is an indexed binary min-heap over engine slots keyed by
+// (next-event time, slot index). It replaces the per-step linear scan of
+// every engine's NextEvent with an O(log n) lookup: the run loop updates
+// exactly the slots whose engines it touched (one per Step or Inject)
+// and refreshes the whole heap only at the rare control-plane instants —
+// churn firings, rebalance rounds, autoscaler actions — that can mutate
+// arbitrary engines or replace incarnations in place.
+//
+// The tie-break is load-bearing: the linear scan it replaces kept the
+// first strictly-lower time, so among equal-time slots the lowest index
+// won. The heap orders by (time, slot) lexicographically, which picks
+// the same slot — the cross-engine determinism contract (DESIGN.md §5)
+// and the streaming equivalence tests both pin this.
+type eventHeap struct {
+	// slots is the heap array of slot indices.
+	slots []int
+	// pos[i] is slot i's position in the heap array, -1 when the slot
+	// has no pending event.
+	pos []int
+	// at[i] is slot i's key time, valid while pos[i] >= 0.
+	at []time.Duration
+}
+
+// newEventHeap returns an empty heap over n slots.
+func newEventHeap(n int) *eventHeap {
+	h := &eventHeap{
+		slots: make([]int, 0, n),
+		pos:   make([]int, n),
+		at:    make([]time.Duration, n),
+	}
+	for i := range h.pos {
+		h.pos[i] = -1
+	}
+	return h
+}
+
+// set records slot i's next event at t, or removes the slot when ok is
+// false (no pending event). Idempotent: re-setting an unchanged key is
+// a no-op after the O(log n) sift finds the slot already in place.
+func (h *eventHeap) set(i int, t time.Duration, ok bool) {
+	switch {
+	case ok && h.pos[i] >= 0:
+		h.at[i] = t
+		h.fix(h.pos[i])
+	case ok:
+		h.at[i] = t
+		h.pos[i] = len(h.slots)
+		h.slots = append(h.slots, i)
+		h.up(len(h.slots) - 1)
+	case h.pos[i] >= 0:
+		h.removeAt(h.pos[i])
+	}
+}
+
+// min returns the slot with the earliest event, ties to the lowest slot
+// index. ok is false when no slot has a pending event.
+func (h *eventHeap) min() (slot int, t time.Duration, ok bool) {
+	if len(h.slots) == 0 {
+		return -1, 0, false
+	}
+	s := h.slots[0]
+	return s, h.at[s], true
+}
+
+// len reports how many slots hold a pending event.
+func (h *eventHeap) len() int { return len(h.slots) }
+
+// less orders heap entries by (time, slot index) — the linear scan's
+// first-lowest-time visit order.
+func (h *eventHeap) less(a, b int) bool {
+	if h.at[a] != h.at[b] {
+		return h.at[a] < h.at[b]
+	}
+	return a < b
+}
+
+// removeAt deletes the entry at heap position p.
+func (h *eventHeap) removeAt(p int) {
+	s := h.slots[p]
+	last := len(h.slots) - 1
+	h.slots[p] = h.slots[last]
+	h.slots = h.slots[:last]
+	h.pos[s] = -1
+	if p < last {
+		h.pos[h.slots[p]] = p
+		h.fix(p)
+	}
+}
+
+// fix restores heap order after the entry at position p changed key.
+func (h *eventHeap) fix(p int) {
+	if !h.down(p) {
+		h.up(p)
+	}
+}
+
+func (h *eventHeap) up(p int) {
+	for p > 0 {
+		parent := (p - 1) / 2
+		if !h.less(h.slots[p], h.slots[parent]) {
+			return
+		}
+		h.slots[p], h.slots[parent] = h.slots[parent], h.slots[p]
+		h.pos[h.slots[p]] = p
+		h.pos[h.slots[parent]] = parent
+		p = parent
+	}
+}
+
+func (h *eventHeap) down(p int) bool {
+	moved := false
+	for {
+		child := 2*p + 1
+		if child >= len(h.slots) {
+			return moved
+		}
+		if r := child + 1; r < len(h.slots) && h.less(h.slots[r], h.slots[child]) {
+			child = r
+		}
+		if !h.less(h.slots[child], h.slots[p]) {
+			return moved
+		}
+		h.slots[p], h.slots[child] = h.slots[child], h.slots[p]
+		h.pos[h.slots[p]] = p
+		h.pos[h.slots[child]] = child
+		p = child
+		moved = true
+	}
+}

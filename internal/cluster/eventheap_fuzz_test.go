@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// refEventModel is the pre-heap reference: the linear scan over every
+// slot that the event heap replaced, keeping the first strictly-lower
+// time so the lowest index wins among equal times.
+type refEventModel struct {
+	ok []bool
+	at []time.Duration
+}
+
+func (m *refEventModel) min() (int, time.Duration, bool) {
+	best, ok := -1, false
+	var bt time.Duration
+	for i := range m.ok {
+		if !m.ok[i] {
+			continue
+		}
+		if !ok || m.at[i] < bt {
+			best, bt, ok = i, m.at[i], true
+		}
+	}
+	return best, bt, ok
+}
+
+// checkHeapInvariants verifies the structural contract after every
+// mutation: position bookkeeping is a bijection onto the heap array, and
+// every parent orders at-or-before its children under (time, slot).
+func checkHeapInvariants(t *testing.T, h *eventHeap) {
+	t.Helper()
+	for p, s := range h.slots {
+		if h.pos[s] != p {
+			t.Fatalf("slot %d at heap position %d carries pos %d", s, p, h.pos[s])
+		}
+		if p > 0 {
+			parent := (p - 1) / 2
+			if h.less(s, h.slots[parent]) {
+				t.Fatalf("heap order violated: slot %d at %d below its parent %d",
+					s, p, h.slots[parent])
+			}
+		}
+	}
+	inHeap := 0
+	for s, p := range h.pos {
+		if p < 0 {
+			continue
+		}
+		inHeap++
+		if p >= len(h.slots) || h.slots[p] != s {
+			t.Fatalf("slot %d claims position %d, heap disagrees", s, p)
+		}
+	}
+	if inHeap != len(h.slots) {
+		t.Fatalf("%d slots claim membership, heap holds %d", inHeap, len(h.slots))
+	}
+}
+
+// FuzzEventHeap drives the cluster event heap through arbitrary
+// inject/advance/crash sequences against the linear-scan reference the
+// heap replaced: after every operation the heap's minimum must be the
+// scan's pick — deterministic tie-break included — and draining at the
+// end must visit every pending instant in (time, slot) order without
+// skipping one.
+func FuzzEventHeap(f *testing.F) {
+	// Seeds: tie pile-ups, interleaved removes, re-keys of the minimum,
+	// and a single-slot degenerate heap.
+	f.Add([]byte{4, 0, 0, 5, 1, 0, 5, 2, 0, 5, 3, 0, 5})
+	f.Add([]byte{4, 0, 0, 9, 1, 0, 3, 0, 1, 0, 2, 0, 7, 1, 1, 0})
+	f.Add([]byte{8, 5, 0, 200, 5, 0, 1, 5, 1, 0, 5, 0, 200})
+	f.Add([]byte{1, 0, 0, 0, 0, 1, 0, 0, 0, 42})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		n := 1 + int(data[0]%8)
+		h := newEventHeap(n)
+		ref := &refEventModel{ok: make([]bool, n), at: make([]time.Duration, n)}
+		for i := 3; i < len(data); i += 3 {
+			slot := int(data[i-2]) % n
+			op := data[i-1] % 4
+			// A tiny time domain maximizes equal-key collisions, the
+			// regime where the tie-break matters.
+			tm := time.Duration(data[i] % 16)
+			if op == 3 { // crash/drain: the slot has no pending event
+				h.set(slot, 0, false)
+				ref.ok[slot] = false
+			} else { // inject/advance: (re-)key the slot
+				h.set(slot, tm, true)
+				ref.ok[slot], ref.at[slot] = true, tm
+			}
+			checkHeapInvariants(t, h)
+			ws, wt, wok := ref.min()
+			gs, gt, gok := h.min()
+			if gok != wok || (wok && (gs != ws || gt != wt)) {
+				t.Fatalf("min = (%d, %v, %v), reference scan = (%d, %v, %v)",
+					gs, gt, gok, ws, wt, wok)
+			}
+		}
+		// Drain: the heap must emit every pending instant in
+		// nondecreasing (time, slot) order, matching the scan step for
+		// step until both are empty.
+		var lastT time.Duration = -1
+		lastS := -1
+		for h.len() > 0 {
+			ws, wt, _ := ref.min()
+			gs, gt, _ := h.min()
+			if gs != ws || gt != wt {
+				t.Fatalf("drain min = (%d, %v), reference = (%d, %v)", gs, gt, ws, wt)
+			}
+			if gt < lastT || (gt == lastT && gs <= lastS) {
+				t.Fatalf("drain emitted (%d, %v) after (%d, %v)", gs, gt, lastS, lastT)
+			}
+			lastT, lastS = gt, gs
+			h.set(gs, 0, false)
+			ref.ok[gs] = false
+			checkHeapInvariants(t, h)
+		}
+		if _, _, ok := ref.min(); ok {
+			t.Fatal("heap drained while the reference still holds events")
+		}
+	})
+}

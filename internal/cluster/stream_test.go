@@ -1,0 +1,250 @@
+package cluster
+
+import (
+	"math"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"sparsedysta/internal/sched"
+	"sparsedysta/internal/stats"
+	"sparsedysta/internal/workload"
+)
+
+// sortedCopy returns the stream in arrival order without mutating the
+// caller's slice (RunStream consumes a pre-sorted source).
+func sortedCopy(reqs []*workload.Request) []*workload.Request {
+	s := append([]*workload.Request(nil), reqs...)
+	workload.SortByArrival(s)
+	return s
+}
+
+// TestClusterRunStreamMatchesRun: feeding the cluster one request at a
+// time through RunStream is byte-identical to the materialized Run — per
+// engine, per task and on the timeline — for every scheduler and
+// dispatcher, across plain, stale-signal, migrating and churning
+// configurations. This is the tentpole equivalence anchor: the streaming
+// path changes memory behavior, never the schedule.
+func TestClusterRunStreamMatchesRun(t *testing.T) {
+	for seed := uint64(1); seed <= 6; seed++ {
+		reqs, est, lut := randomStream(seed, 60)
+		horizon := reqs[len(reqs)-1].Arrival * 2
+		plan, err := GenChurn(3, horizon, horizon/6, horizon/12, 100+seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		load := SparsityAwareLoad(lut, est)
+		for _, spec := range schedSpecs(est, lut) {
+			for _, d := range dispatchers(est, lut) {
+				for name, mut := range map[string]func(*Config){
+					"plain": func(*Config) {},
+					"stale": func(c *Config) { c.SignalInterval = 3 * time.Millisecond },
+					"stealing": func(c *Config) {
+						c.Rebalance = Steal{Load: load}
+						c.RebalanceInterval = 2 * time.Millisecond
+						c.MigrationCost = time.Millisecond
+					},
+					"churning": func(c *Config) {
+						c.Churn = &plan
+						c.RetryMax = 2
+						c.SignalInterval = 2 * time.Millisecond
+					},
+				} {
+					cfg := Config{Engines: 3, Dispatch: d,
+						Sched: sched.Options{RecordTimeline: true, RecordTasks: true}}
+					mut(&cfg)
+					want, err := Run(func(int) sched.Scheduler { return spec.mk() }, reqs, cfg)
+					if err != nil {
+						t.Fatalf("%s/%s/%s (seed %d): %v", spec.name, d.Name(), name, seed, err)
+					}
+					got, err := RunStream(func(int) sched.Scheduler { return spec.mk() },
+						sched.NewSliceSource(sortedCopy(reqs)), cfg)
+					if err != nil {
+						t.Fatalf("%s/%s/%s (seed %d): %v", spec.name, d.Name(), name, seed, err)
+					}
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("%s/%s/%s (seed %d): streamed cluster diverges from materialized:\n%+v\nvs\n%+v",
+							spec.name, d.Name(), name, seed, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestClusterRunStreamRejectsUnsorted: a source that yields arrivals out
+// of order must fail the run instead of silently rewriting history.
+func TestClusterRunStreamRejectsUnsorted(t *testing.T) {
+	reqs, _, _ := randomStream(3, 10)
+	reqs[0], reqs[len(reqs)-1] = reqs[len(reqs)-1], reqs[0] // break the order
+	_, err := RunStream(func(int) sched.Scheduler { return sched.NewFCFS() },
+		sched.NewSliceSource(reqs), Config{Engines: 2})
+	if err == nil {
+		t.Fatal("unsorted stream accepted")
+	}
+}
+
+// closeEnough compares a bounded-capture metric against its full-capture
+// reference under a relative tolerance covering summation-order float
+// rounding (bounded aggregates accumulate in completion order,
+// aggregate() in task-ID order).
+func closeEnough(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= 1e-9*math.Max(math.Abs(a), math.Abs(b))
+}
+
+// TestClusterBoundedCaptureCloseToFull: the bounded cluster aggregates
+// must reproduce the full-capture metrics — exactly for every counter,
+// and up to summation-order float rounding for the means — while
+// recording no per-request structures. Migration win/loss counters are
+// integers resolved per completion and must match exactly.
+func TestClusterBoundedCaptureCloseToFull(t *testing.T) {
+	for seed := uint64(1); seed <= 6; seed++ {
+		reqs, est, lut := randomStream(seed, 80)
+		load := SparsityAwareLoad(lut, est)
+		for _, spec := range schedSpecs(est, lut) {
+			for name, mut := range map[string]func(*Config){
+				"plain": func(*Config) {},
+				"stealing": func(c *Config) {
+					c.Rebalance = Steal{Load: load}
+					c.RebalanceInterval = 2 * time.Millisecond
+					c.MigrationCost = time.Millisecond
+				},
+			} {
+				full := Config{Engines: 3, Dispatch: NewJSQ(),
+					Sched: sched.Options{RecordTasks: true}}
+				mut(&full)
+				bounded := full
+				bounded.Sched = sched.Options{BoundedCapture: true, Exemplars: 16, ExemplarSeed: 5}
+				mut(&bounded)
+				want, err := Run(func(int) sched.Scheduler { return spec.mk() }, reqs, full)
+				if err != nil {
+					t.Fatalf("%s/%s full (seed %d): %v", spec.name, name, seed, err)
+				}
+				got, err := Run(func(int) sched.Scheduler { return spec.mk() }, reqs, bounded)
+				if err != nil {
+					t.Fatalf("%s/%s bounded (seed %d): %v", spec.name, name, seed, err)
+				}
+				label := spec.name + "/" + name
+				if got.Requests != want.Requests || got.Violations != want.Violations ||
+					got.Rejected != want.Rejected || got.Preemptions != want.Preemptions {
+					t.Fatalf("%s (seed %d): counters diverge: %+v vs %+v", label, seed, got.Result, want.Result)
+				}
+				if got.Migrations != want.Migrations ||
+					got.MigrationWins != want.MigrationWins ||
+					got.MigrationLosses != want.MigrationLosses {
+					t.Fatalf("%s (seed %d): migration accounting diverges (%d %d/%d vs %d %d/%d)",
+						label, seed, got.Migrations, got.MigrationWins, got.MigrationLosses,
+						want.Migrations, want.MigrationWins, want.MigrationLosses)
+				}
+				if got.Makespan != want.Makespan {
+					t.Fatalf("%s (seed %d): makespan %v vs %v", label, seed, got.Makespan, want.Makespan)
+				}
+				if !closeEnough(got.ANTT, want.ANTT) ||
+					!closeEnough(got.ViolationRate, want.ViolationRate) ||
+					!closeEnough(got.Throughput, want.Throughput) ||
+					!closeEnough(got.Goodput, want.Goodput) {
+					t.Fatalf("%s (seed %d): rates diverge beyond rounding:\n%+v\nvs\n%+v",
+						label, seed, got.Result, want.Result)
+				}
+				if d := got.MeanLatency - want.MeanLatency; d < -time.Microsecond || d > time.Microsecond {
+					t.Fatalf("%s (seed %d): mean latency %v vs %v", label, seed, got.MeanLatency, want.MeanLatency)
+				}
+				for model, wm := range want.PerModel {
+					gm, ok := got.PerModel[model]
+					if !ok || gm.Requests != wm.Requests ||
+						!closeEnough(gm.ViolationRate, wm.ViolationRate) ||
+						!closeEnough(gm.ANTT, wm.ANTT) {
+						t.Fatalf("%s (seed %d): per-model %q diverges: %+v vs %+v", label, seed, model, gm, wm)
+					}
+				}
+				if got.Tasks != nil || got.Timeline != nil {
+					t.Fatalf("%s (seed %d): bounded capture retained per-request structures", label, seed)
+				}
+				if len(got.Exemplars) == 0 || len(got.Exemplars) > 16 {
+					t.Fatalf("%s (seed %d): exemplar reservoir has %d entries", label, seed, len(got.Exemplars))
+				}
+			}
+		}
+	}
+}
+
+// exactQuantile is the nearest-rank order statistic the histogram's
+// Quantile approximates: the smallest value with at least ceil(p/100*n)
+// observations at or below it.
+func exactQuantile(lat []time.Duration, p float64) time.Duration {
+	rank := int(math.Ceil(p / 100 * float64(len(lat))))
+	if rank < 1 {
+		rank = 1
+	}
+	return lat[rank-1]
+}
+
+// TestBoundedPercentilesWithinBucket is the streaming-percentile property
+// test: across schedulers, dispatchers and seeds, every bounded-capture
+// percentile must sit at or above the exact sorted order statistic of the
+// same run's latencies, within one histogram bucket width (~3%). A 10k-
+// request run checks the bound holds at depth, not just on toy streams.
+func TestBoundedPercentilesWithinBucket(t *testing.T) {
+	check := func(label string, got sched.Result, tasks []sched.TaskOutcome) {
+		t.Helper()
+		lat := make([]time.Duration, len(tasks))
+		for i, o := range tasks {
+			lat[i] = o.Completion - o.Arrival
+		}
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		var h stats.DurationHist
+		for p, est := range map[float64]time.Duration{
+			50: got.P50Latency, 95: got.P95Latency, 99: got.P99Latency,
+		} {
+			exact := exactQuantile(lat, p)
+			if est < exact {
+				t.Errorf("%s: P%.0f %v below the exact order statistic %v", label, p, est, exact)
+			}
+			if width := h.WidthAt(exact); est-exact > width {
+				t.Errorf("%s: P%.0f %v is more than one bucket width (%v) above the exact %v",
+					label, p, est, width, exact)
+			}
+		}
+	}
+	for seed := uint64(1); seed <= 5; seed++ {
+		reqs, est, lut := randomStream(seed, 120)
+		for _, spec := range schedSpecs(est, lut) {
+			for _, d := range dispatchers(est, lut) {
+				full := Config{Engines: 3, Dispatch: d, Sched: sched.Options{RecordTasks: true}}
+				want, err := Run(func(int) sched.Scheduler { return spec.mk() }, reqs, full)
+				if err != nil {
+					t.Fatalf("%s/%s (seed %d): %v", spec.name, d.Name(), seed, err)
+				}
+				bounded := full
+				bounded.Sched = sched.Options{BoundedCapture: true}
+				got, err := Run(func(int) sched.Scheduler { return spec.mk() }, reqs, bounded)
+				if err != nil {
+					t.Fatalf("%s/%s (seed %d): %v", spec.name, d.Name(), seed, err)
+				}
+				check(spec.name+"/"+d.Name(), got.Result, want.Tasks)
+			}
+		}
+	}
+	// Depth: one 10k-request streamed run against its materialized
+	// full-capture twin.
+	reqs, est, lut := randomStream(99, 10000)
+	full := Config{Engines: 4, Dispatch: NewLeastLoad("sparse-load", SparsityAwareLoad(lut, est)),
+		Sched: sched.Options{RecordTasks: true}}
+	want, err := Run(func(int) sched.Scheduler { return sched.NewSJF(est) }, reqs, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounded := full
+	bounded.Dispatch = NewLeastLoad("sparse-load", SparsityAwareLoad(lut, est))
+	bounded.Sched = sched.Options{BoundedCapture: true}
+	got, err := RunStream(func(int) sched.Scheduler { return sched.NewSJF(est) },
+		sched.NewSliceSource(sortedCopy(reqs)), bounded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("SJF/sparse-load/10k", got.Result, want.Tasks)
+}

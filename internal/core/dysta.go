@@ -20,6 +20,24 @@ import (
 type Dysta struct {
 	cfg Config
 	lut *trace.StatsSet
+
+	// h is the scalable-pick heap (Options.ScalablePick), ordered by
+	// (staticScore, ID) when the dynamic level is disabled — the score
+	// itself, so the pick is the heap minimum — and by (remainMS, ID)
+	// otherwise. remainMS is a provable lower bound of the dynamic score
+	// in BOTH regimes: every term the score adds to remain (Eta*slack,
+	// Eta*penalty, the demotion constant) is non-negative, and float
+	// addition of a non-negative term never rounds below the other
+	// operand, so cachedScore(t) >= state(t).remainMS holds in float
+	// arithmetic, not just in the reals. PickNextScalable runs a pruned
+	// DFS over the heap: the heap property makes every descendant's
+	// remainMS >= the node's, so a subtree whose root bound strictly
+	// exceeds the best exact score found so far cannot contain the
+	// argmin (nor a tie, strictness preserving the min-ID tie-break)
+	// and is skipped. Visited nodes are re-scored with cachedScore, so
+	// the pick is bit-identical to the reference scan regardless of how
+	// much the pruning helps. nil until EnableScalable.
+	h *sched.TaskHeap
 }
 
 // requestState is the per-request bookkeeping of the dynamic level,
@@ -73,6 +91,62 @@ func state(t *sched.Task) *requestState {
 	return s
 }
 
+// heapKey is the scalable heap's ordering key: the score lower bound
+// (remainMS, or the exact staticScore without the dynamic level). Tasks
+// without state sort last, mirroring cachedScore's defensive 1e18.
+func (d *Dysta) heapKey(t *sched.Task) float64 {
+	s := state(t)
+	if s == nil {
+		return 1e18
+	}
+	if !d.cfg.DynamicEnabled {
+		return s.staticScore
+	}
+	return s.remainMS
+}
+
+// EnableScalable implements sched.ScalableScheduler: switch to the
+// heap-maintained pick. Must precede the first arrival (the engine calls
+// it at construction).
+func (d *Dysta) EnableScalable() {
+	d.h = sched.NewTaskHeap(func(a, b *sched.Task) bool {
+		ka, kb := d.heapKey(a), d.heapKey(b)
+		return ka < kb || (ka == kb && a.ID < b.ID)
+	})
+}
+
+// PickNextScalable implements sched.ScalableScheduler: the exact
+// reference argmin via bound-pruned DFS over the heap (see the field
+// doc on h for why the pruning cannot change the pick).
+func (d *Dysta) PickNextScalable(q *sched.ReadyQueue, now time.Duration) *sched.Task {
+	if !d.cfg.DynamicEnabled {
+		// The key IS the score: the heap minimum is the reference pick,
+		// tie-break included.
+		return d.h.Min()
+	}
+	queueLen := float64(q.Len())
+	var best *sched.Task
+	bestScore := 0.0
+	var walk func(i int)
+	walk = func(i int) {
+		if i >= d.h.Len() {
+			return
+		}
+		t := d.h.At(i)
+		if best != nil && d.heapKey(t) > bestScore {
+			return
+		}
+		sc := d.cachedScore(t, now, queueLen)
+		if best == nil || sc < bestScore || (sc == bestScore && t.ID < best.ID) {
+			best, bestScore = t, sc
+		}
+		walk(2*i + 1)
+		walk(2*i + 2)
+	}
+	walk(0)
+	return best
+}
+
 // refresh re-derives the cached score components from the predictor.
 func (s *requestState) refresh(t *sched.Task) {
 	s.remainMS = ms(s.pred.Remaining(t.NextLayer))
@@ -93,6 +167,9 @@ func (d *Dysta) OnArrival(t *sched.Task, _ time.Duration) {
 	}
 	s.refresh(t)
 	t.Attachment = s
+	if d.h != nil {
+		d.h.Push(t)
+	}
 }
 
 // OnLayerComplete implements sched.Scheduler: the hardware monitor's
@@ -101,6 +178,10 @@ func (d *Dysta) OnArrival(t *sched.Task, _ time.Duration) {
 // completed request's state is released.
 func (d *Dysta) OnLayerComplete(t *sched.Task, layer int, monitored float64, _ time.Duration) {
 	if t.Done {
+		// Release the heap slot before the state it keys on.
+		if d.h != nil {
+			d.h.Remove(t)
+		}
 		t.Attachment = nil
 		return
 	}
@@ -109,6 +190,9 @@ func (d *Dysta) OnLayerComplete(t *sched.Task, layer int, monitored float64, _ t
 			s.pred.Observe(layer, monitored)
 		}
 		s.refresh(t)
+		if d.h != nil {
+			d.h.Fix(t)
+		}
 	}
 }
 
@@ -117,7 +201,12 @@ func (d *Dysta) OnLayerComplete(t *sched.Task, layer int, monitored float64, _ t
 // request has executed no layer, so the predictor holds no monitored
 // sparsity worth carrying — the adopting engine's OnArrival rebuilds an
 // identical fresh state from the LUT.
-func (d *Dysta) OnExtract(t *sched.Task, _ time.Duration) { t.Attachment = nil }
+func (d *Dysta) OnExtract(t *sched.Task, _ time.Duration) {
+	if d.h != nil {
+		d.h.Remove(t)
+	}
+	t.Attachment = nil
+}
 
 // PickNext implements sched.Scheduler: the dynamic level (Alg. 2). Every
 // queued request is re-scored with its refined remaining time, slack and
@@ -211,5 +300,6 @@ func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond)
 
 var (
 	_ sched.IncrementalScheduler = (*Dysta)(nil)
+	_ sched.ScalableScheduler    = (*Dysta)(nil)
 	_ sched.TaskExtractor        = (*Dysta)(nil)
 )

@@ -104,6 +104,14 @@ func NewAutoscaler(reqs []*workload.Request, min, max int, load func(*sched.Task
 // deliberately NOT called by runCell: experiment sweeps build option
 // blocks programmatically and own their own consistency.
 func (o Options) Validate() error {
+	if _, err := o.schedOptions(); err != nil {
+		return err
+	}
+	if o.Stream && o.Autoscale {
+		// NewAutoscaler derives its thresholds from the materialized
+		// request slice; a streamed run never has one.
+		return fmt.Errorf("exp: -stream cannot combine with -autoscale (scaling thresholds derive from the materialized stream)")
+	}
 	if o.Burst != 0 && o.Traffic != "mmpp" {
 		return fmt.Errorf("exp: -burst shapes the mmpp process (got -traffic %q)", o.Traffic)
 	}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"fmt"
 	"time"
 
 	"sparsedysta/internal/cluster"
@@ -103,6 +104,37 @@ type Options struct {
 	// ScaleMin and ScaleMax bound the autoscaler's live engine count.
 	// 0 means Min 1 and Max = the cluster size.
 	ScaleMin, ScaleMax int
+	// Stream generates each cell's arrivals lazily and injects them one
+	// at a time (sched.RunStream / cluster.RunStream) instead of
+	// materializing the request slice — the schedule is bit-identical,
+	// but run memory stops growing with Requests once Capture is
+	// "bounded" too. Incompatible with Autoscale, whose thresholds
+	// derive from the materialized stream (Validate rejects the pair).
+	Stream bool
+	// Capture selects the engine's result-capture mode: "" or "full"
+	// keeps the per-request structures; "bounded" switches to
+	// constant-size streaming aggregates (sched.Options.BoundedCapture —
+	// exact everything except percentiles, which move to a ~3%-error
+	// histogram).
+	Capture string
+	// ScalablePick enables the heap-backed sublinear pick path for
+	// schedulers implementing sched.ScalableScheduler; others keep their
+	// usual path.
+	ScalablePick bool
+}
+
+// schedOptions resolves the per-engine sched.Options the cell runner
+// derives from the experiment options, rejecting unknown capture modes.
+func (o Options) schedOptions() (sched.Options, error) {
+	s := sched.Options{ScalablePick: o.ScalablePick}
+	switch o.Capture {
+	case "", "full":
+	case "bounded":
+		s.BoundedCapture = true
+	default:
+		return s, fmt.Errorf("exp: unknown capture mode %q (valid: full, bounded)", o.Capture)
+	}
+	return s, nil
 }
 
 // DefaultOptions returns the paper-scale protocol.

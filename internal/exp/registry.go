@@ -41,6 +41,7 @@ var registry = map[string]Runner{
 	"migration":     Migration,
 	"engine-churn":  EngineChurn,
 	"autoscale":     Autoscale,
+	"stream-scale":  StreamScale,
 }
 
 // order is the presentation order of the paper artefacts.
@@ -66,7 +67,7 @@ func AblationIDs() []string {
 }
 
 // scale lists the beyond-the-paper scaling studies.
-var scale = []string{"scale-engines", "stale-signals", "hetero-scale", "migration", "engine-churn", "autoscale"}
+var scale = []string{"scale-engines", "stale-signals", "hetero-scale", "migration", "engine-churn", "autoscale", "stream-scale"}
 
 // ScaleIDs returns the scaling-study experiment ids.
 func ScaleIDs() []string { return append([]string(nil), scale...) }

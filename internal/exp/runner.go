@@ -50,15 +50,31 @@ func (p *Pipeline) runCell(spec SchedSpec, pt Point, seed int, opts Options) (sc
 	if err != nil {
 		return sched.Result{}, err
 	}
-	reqs, err := workload.Generate(p.Scenario, p.Eval, workload.GenConfig{
+	sOpts, err := opts.schedOptions()
+	if err != nil {
+		return sched.Result{}, err
+	}
+	if opts.Stream && opts.Autoscale {
+		// Mirrors Validate for programmatically built option blocks: the
+		// autoscaler's thresholds need the materialized slice.
+		return sched.Result{}, fmt.Errorf("exp: streaming runs cannot autoscale")
+	}
+	gcfg := workload.GenConfig{
 		Requests:      opts.Requests,
 		RatePerSec:    pt.Rate,
 		SLOMultiplier: pt.MSLO,
 		Seed:          cellSeed(seed),
 		Process:       proc,
-	})
-	if err != nil {
-		return sched.Result{}, fmt.Errorf("exp: generating %s workload: %w", p.Scenario.Name, err)
+	}
+	// A streamed cell never materializes its requests; everything the
+	// setup below consumes (churn horizons, autoscale thresholds) either
+	// derives from the operating point alone or is rejected above.
+	var reqs []*workload.Request
+	if !opts.Stream {
+		reqs, err = workload.Generate(p.Scenario, p.Eval, gcfg)
+		if err != nil {
+			return sched.Result{}, fmt.Errorf("exp: generating %s workload: %w", p.Scenario.Name, err)
+		}
 	}
 	// The cluster path serves any run that needs the dispatch layer:
 	// more than one engine, an explicit (possibly heterogeneous) spec, a
@@ -93,6 +109,7 @@ func (p *Pipeline) runCell(spec SchedSpec, pt Point, seed int, opts Options) (sc
 			RebalanceInterval: opts.RebalanceInterval,
 			MigrationCost:     opts.MigrationCost,
 			MigrationBudget:   opts.MigrationBudget,
+			Sched:             sOpts,
 		}
 		engines := cfg.Engines
 		if len(cfg.Specs) > 0 {
@@ -137,7 +154,16 @@ func (p *Pipeline) runCell(spec SchedSpec, pt Point, seed int, opts Options) (sc
 			cfg.Churn = &plan
 			cfg.RetryMax = opts.RetryMax
 		}
-		cres, err := cluster.Run(func(int) sched.Scheduler { return spec.New(p) }, reqs, cfg)
+		var cres cluster.Result
+		if opts.Stream {
+			src, serr := workload.NewStream(p.Scenario, p.Eval, gcfg)
+			if serr != nil {
+				return sched.Result{}, fmt.Errorf("exp: streaming %s workload: %w", p.Scenario.Name, serr)
+			}
+			cres, err = cluster.RunStream(func(int) sched.Scheduler { return spec.New(p) }, src, cfg)
+		} else {
+			cres, err = cluster.Run(func(int) sched.Scheduler { return spec.New(p) }, reqs, cfg)
+		}
 		if err != nil {
 			return sched.Result{}, fmt.Errorf("exp: running %s on %d engines: %w",
 				spec.Name, engines, err)
@@ -153,7 +179,16 @@ func (p *Pipeline) runCell(spec SchedSpec, pt Point, seed int, opts Options) (sc
 	if _, err := NewRebalancer(opts.Rebalance, p); err != nil {
 		return sched.Result{}, err
 	}
-	res, err := sched.Run(spec.New(p), reqs, sched.Options{})
+	var res sched.Result
+	if opts.Stream {
+		src, serr := workload.NewStream(p.Scenario, p.Eval, gcfg)
+		if serr != nil {
+			return sched.Result{}, fmt.Errorf("exp: streaming %s workload: %w", p.Scenario.Name, serr)
+		}
+		res, err = sched.RunStream(spec.New(p), src, sOpts)
+	} else {
+		res, err = sched.Run(spec.New(p), reqs, sOpts)
+	}
 	if err != nil {
 		return sched.Result{}, fmt.Errorf("exp: running %s: %w", spec.Name, err)
 	}

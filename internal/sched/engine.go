@@ -25,6 +25,34 @@ type Options struct {
 	// schedulers implementing IncrementalScheduler. The equivalence tests
 	// use it to prove both paths produce bit-identical schedules.
 	ReferencePick bool
+	// ScalablePick enables the heap-backed sublinear pick path for
+	// schedulers implementing ScalableScheduler (off by default: the
+	// incremental single-pass scan is the bit-identity anchor, and the
+	// heap structures only pay off once thousands of requests queue).
+	// Schedulers without the interface fall back to their usual path.
+	ScalablePick bool
+	// BoundedCapture drops every O(requests) capture structure — the
+	// completed-task slice behind Tasks, the per-request latency and
+	// turnaround slices — in favor of streaming aggregates, so engine
+	// memory is independent of run length. ANTT, MeanLatency, violation
+	// and throughput accounting, Makespan and PerModel stay bit-identical
+	// to full capture (ordered float sums over the same completion
+	// sequence); the latency percentiles switch to a log-bucketed
+	// histogram (upward bias of at most one bucket width, ~3%), and
+	// RecordTimeline/RecordTasks are forced off. Exemplars provides a
+	// bounded substitute for Tasks.
+	BoundedCapture bool
+	// Exemplars is the reservoir size of the uniform per-request outcome
+	// sample kept under BoundedCapture (0 = none); ExemplarSeed drives
+	// the reservoir's private deterministic rng stream.
+	Exemplars    int
+	ExemplarSeed uint64
+	// Observer, when non-nil, is called once per completed request, at
+	// its completion instant, with the final outcome. The cluster layer
+	// uses it to aggregate run-wide bounded metrics in global event
+	// order without any engine retaining per-request state. It must not
+	// call back into the engine.
+	Observer func(TaskOutcome)
 	// LatencyScale models a faster or slower accelerator of the same
 	// architecture: every executed layer latency (and the preemption
 	// overhead) is multiplied by this factor in the engine's cost model.
@@ -55,9 +83,10 @@ type Options struct {
 //   - NextEvent never mutates state, so an orchestrator can order N
 //     engines' events globally before committing any of them.
 type Engine struct {
-	s    Scheduler
-	inc  IncrementalScheduler
-	opts Options
+	s        Scheduler
+	inc      IncrementalScheduler
+	scalable ScalableScheduler
+	opts     Options
 	// scale is the effective latency scale (Options.LatencyScale, 0 → 1).
 	scale float64
 
@@ -76,6 +105,21 @@ type Engine struct {
 	latencies  []float64
 	timeline   *Timeline
 	finished   bool
+
+	// Bounded-capture aggregates (Options.BoundedCapture): the streaming
+	// replacements for the slices above. nDone is maintained in both
+	// modes (== len(done) under full capture).
+	bounded        bool
+	nDone          int
+	turnSum        float64
+	latSum         float64
+	violations     int
+	lastDone       time.Duration
+	doneAny        bool
+	doneMinArrival time.Duration
+	latHist        *stats.DurationHist
+	perModel       map[string]ModelMetrics
+	exemplars      *stats.Reservoir[TaskOutcome]
 }
 
 // NewEngine returns an idle engine at virtual time zero driving the
@@ -89,7 +133,24 @@ func NewEngine(s Scheduler, opts Options) *Engine {
 	if inc, ok := s.(IncrementalScheduler); ok && !opts.ReferencePick {
 		e.inc = inc
 	}
-	if opts.RecordTimeline {
+	if opts.ScalablePick && !opts.ReferencePick {
+		if sc, ok := s.(ScalableScheduler); ok {
+			sc.EnableScalable()
+			e.scalable = sc
+		}
+	}
+	if opts.BoundedCapture {
+		e.bounded = true
+		// Full capture is the thing bounded mode exists to avoid.
+		e.opts.RecordTimeline = false
+		e.opts.RecordTasks = false
+		e.latHist = &stats.DurationHist{}
+		e.perModel = map[string]ModelMetrics{}
+		if opts.Exemplars > 0 {
+			e.exemplars = stats.NewReservoir[TaskOutcome](opts.Exemplars, opts.ExemplarSeed)
+		}
+	}
+	if e.opts.RecordTimeline {
 		e.timeline = &Timeline{}
 	}
 	return e
@@ -205,7 +266,11 @@ func (e *Engine) Crash(now time.Duration) (queued, started []*Task, err error) {
 	e.last = nil
 	// The departed requests must not anchor this incarnation's makespan;
 	// only completed work remains, so re-seed firstArrival from it.
-	if len(e.done) > 0 {
+	if e.bounded {
+		if e.doneAny {
+			e.firstArrival = e.doneMinArrival
+		}
+	} else if len(e.done) > 0 {
 		first := e.done[0].Arrival
 		for _, d := range e.done {
 			if d.Arrival < first {
@@ -241,8 +306,16 @@ func (e *Engine) forgetArrival(t *Task) {
 	for i := range e.pending.entries {
 		note(e.pending.entries[i].t.Arrival)
 	}
-	for _, d := range e.done {
-		note(d.Arrival)
+	if e.bounded {
+		// Completed requests survive only as aggregates; their minimum
+		// arrival is tracked incrementally and equals the full-mode scan.
+		if e.doneAny {
+			note(e.doneMinArrival)
+		}
+	} else {
+		for _, d := range e.done {
+			note(d.Arrival)
+		}
 	}
 	if seen {
 		e.firstArrival = first
@@ -332,7 +405,7 @@ func (e *Engine) NextEvent() (next time.Duration, ok bool) {
 func (e *Engine) Outstanding() int { return e.ready.Len() + e.pending.len() }
 
 // Completed returns the number of finished requests.
-func (e *Engine) Completed() int { return len(e.done) }
+func (e *Engine) Completed() int { return e.nDone }
 
 // BusyTime returns the accumulated accelerator-occupied time: executed
 // layer latency plus charged preemption overhead.
@@ -404,7 +477,9 @@ func (e *Engine) Step() (time.Duration, error) {
 	}
 
 	var pick *Task
-	if e.inc != nil {
+	if e.scalable != nil {
+		pick = e.scalable.PickNextScalable(&e.ready, e.now)
+	} else if e.inc != nil {
 		pick = e.inc.PickNextIncremental(&e.ready, e.now)
 	} else {
 		pick = e.s.PickNext(e.ready.Tasks(), e.now)
@@ -442,13 +517,88 @@ func (e *Engine) Step() (time.Duration, error) {
 		pick.Done = true
 		pick.Completion = e.now
 		e.ready.remove(pick)
-		e.done = append(e.done, pick)
+		e.nDone++
 		turn := e.now - pick.Arrival
-		e.turnRatios = append(e.turnRatios, float64(turn)/float64(pick.TrueIsolated()))
-		e.latencies = append(e.latencies, float64(turn))
+		if e.bounded {
+			e.noteDone(pick, turn)
+		} else {
+			e.done = append(e.done, pick)
+			e.turnRatios = append(e.turnRatios, float64(turn)/float64(pick.TrueIsolated()))
+			e.latencies = append(e.latencies, float64(turn))
+		}
+		if e.opts.Observer != nil {
+			e.opts.Observer(outcomeOf(pick))
+		}
 	}
 	e.s.OnLayerComplete(pick, layer, pick.monitoredSparsity(layer), e.now)
 	return e.now, nil
+}
+
+// noteDone folds one completion into the bounded-capture aggregates, in
+// completion order — the same order the full-capture Finish traverses
+// e.done in, which is what keeps the ordered float sums (ANTT,
+// MeanLatency, PerModel) bit-identical between the two modes.
+func (e *Engine) noteDone(t *Task, turn time.Duration) {
+	ntt := float64(turn) / float64(t.TrueIsolated())
+	e.turnSum += ntt
+	e.latSum += float64(turn)
+	e.latHist.Add(turn)
+	violated := t.Violated(t.Completion)
+	if violated {
+		e.violations++
+	}
+	if t.Completion > e.lastDone {
+		e.lastDone = t.Completion
+	}
+	if !e.doneAny || t.Arrival < e.doneMinArrival {
+		e.doneAny, e.doneMinArrival = true, t.Arrival
+	}
+	m := e.perModel[t.Key.Model]
+	m.Requests++
+	m.ANTT += ntt
+	if violated {
+		m.ViolationRate++
+	}
+	e.perModel[t.Key.Model] = m
+	if e.exemplars != nil {
+		e.exemplars.Add(outcomeOf(t))
+	}
+}
+
+// finishBounded is Finish for bounded-capture engines: the same metric
+// definitions recomputed from the streaming aggregates.
+func (e *Engine) finishBounded() Result {
+	res := Result{Scheduler: e.s.Name(), Dropped: e.injected - e.nDone,
+		Offered: e.injected}
+	if e.nDone == 0 {
+		return res
+	}
+	n := float64(e.nDone)
+	res.ANTT = e.turnSum / n
+	res.Preemptions = e.preempts
+	res.Requests = e.nDone
+	res.Violations = e.violations
+	res.ViolationRate = float64(e.violations) / n
+	res.MeanLatency = time.Duration(e.latSum / n)
+	res.P50Latency = e.latHist.Quantile(50)
+	res.P95Latency = e.latHist.Quantile(95)
+	res.P99Latency = e.latHist.Quantile(99)
+	res.Makespan = e.lastDone - e.firstArrival
+	res.EngineSeconds = res.Makespan.Seconds()
+	if res.Makespan > 0 {
+		res.Throughput = n / res.Makespan.Seconds()
+		res.Goodput = float64(e.nDone-e.violations) / res.Makespan.Seconds()
+	}
+	res.PerModel = map[string]ModelMetrics{}
+	for name, m := range e.perModel {
+		m.ANTT /= float64(m.Requests)
+		m.ViolationRate /= float64(m.Requests)
+		res.PerModel[name] = m
+	}
+	if e.exemplars != nil {
+		res.Exemplars = append([]TaskOutcome(nil), e.exemplars.Items()...)
+	}
+	return res
 }
 
 // Finish seals the engine and aggregates the run's metrics. Stepping or
@@ -459,6 +609,9 @@ func (e *Engine) Step() (time.Duration, error) {
 // counts the outstanding ones so the truncation is never silent.
 func (e *Engine) Finish() Result {
 	e.finished = true
+	if e.bounded {
+		return e.finishBounded()
+	}
 	res := Result{Scheduler: e.s.Name(), Dropped: e.injected - len(e.done),
 		Offered: e.injected}
 	if len(e.done) == 0 {
@@ -480,6 +633,8 @@ func (e *Engine) Finish() Result {
 	res.Violations = violations
 	res.ViolationRate = float64(violations) / float64(len(e.done))
 	res.MeanLatency = time.Duration(stats.Mean(e.latencies))
+	res.P50Latency = time.Duration(stats.Percentile(e.latencies, 50))
+	res.P95Latency = time.Duration(stats.Percentile(e.latencies, 95))
 	res.P99Latency = time.Duration(stats.Percentile(e.latencies, 99))
 	res.Makespan = lastDone - e.firstArrival
 	// A standalone engine bills exactly its makespan of capacity; the
@@ -508,15 +663,7 @@ func (e *Engine) Finish() Result {
 	if e.opts.RecordTasks {
 		res.Tasks = make([]TaskOutcome, 0, len(e.done))
 		for _, t := range e.done {
-			res.Tasks = append(res.Tasks, TaskOutcome{
-				ID:         t.ID,
-				Model:      t.Key.Model,
-				Arrival:    t.Arrival,
-				Completion: t.Completion,
-				Isolated:   t.TrueIsolated(),
-				NTT:        float64(t.Completion-t.Arrival) / float64(t.TrueIsolated()),
-				Violated:   t.Violated(t.Completion),
-			})
+			res.Tasks = append(res.Tasks, outcomeOf(t))
 		}
 		sort.Slice(res.Tasks, func(i, j int) bool { return res.Tasks[i].ID < res.Tasks[j].ID })
 	}

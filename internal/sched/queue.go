@@ -94,6 +94,13 @@ func (h *TaskHeap) Min() *Task {
 	return h.tasks[0]
 }
 
+// At returns the task at heap position i (0 is the minimum; children of
+// i sit at 2i+1 and 2i+2). It is the traversal surface of the pruned
+// DFS the scalable pick paths run: the heap property guarantees every
+// descendant's key is >= the node's, so a subtree whose root key
+// already exceeds the best score found can be skipped wholesale.
+func (h *TaskHeap) At(i int) *Task { return h.tasks[i] }
+
 // Push inserts a task.
 func (h *TaskHeap) Push(t *Task) {
 	t.heapIndex = len(h.tasks)

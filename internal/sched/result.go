@@ -25,8 +25,16 @@ type Result struct {
 	// for. Admission control trades throughput for goodput by shedding
 	// requests predicted to violate anyway.
 	Goodput float64
-	// MeanLatency and P99Latency summarize multi-tenant turnaround.
+	// MeanLatency and the latency percentiles summarize multi-tenant
+	// turnaround. Full-capture runs compute the percentiles from the
+	// exact per-request latency slice (linear interpolation between
+	// closest ranks); bounded-capture runs read them from a log-bucketed
+	// streaming histogram, which biases each percentile upward by at
+	// most one bucket width (~3% of its magnitude) — the price of
+	// request-count-independent memory.
 	MeanLatency time.Duration
+	P50Latency  time.Duration
+	P95Latency  time.Duration
 	P99Latency  time.Duration
 	// Preemptions counts scheduling decisions that switched tasks while
 	// the previous choice still had layers left.
@@ -106,6 +114,10 @@ type Result struct {
 	Timeline *Timeline
 	// Tasks holds per-request outcomes (only with Options.RecordTasks).
 	Tasks []TaskOutcome
+	// Exemplars is a fixed-size uniform sample of per-request outcomes,
+	// the bounded-capture replacement for full Tasks capture (only with
+	// Options.BoundedCapture and a positive Options.Exemplars).
+	Exemplars []TaskOutcome
 }
 
 // ModelMetrics aggregates one model's requests within a run.
@@ -126,6 +138,21 @@ type TaskOutcome struct {
 	NTT float64
 	// Violated reports a missed deadline.
 	Violated bool
+}
+
+// outcomeOf snapshots a completed task's final accounting. Both capture
+// modes derive their per-request records through it, so Tasks entries,
+// Exemplars and Observer callbacks carry identical values.
+func outcomeOf(t *Task) TaskOutcome {
+	return TaskOutcome{
+		ID:         t.ID,
+		Model:      t.Key.Model,
+		Arrival:    t.Arrival,
+		Completion: t.Completion,
+		Isolated:   t.TrueIsolated(),
+		NTT:        float64(t.Completion-t.Arrival) / float64(t.TrueIsolated()),
+		Violated:   t.Violated(t.Completion),
+	}
 }
 
 // CheckOutcomeConservation verifies the outcome accounting of one run:
@@ -156,9 +183,9 @@ func CheckOutcomeConservation(r Result) error {
 // counters (Preemptions, Requests) are rounded to the nearest integer,
 // not truncated. Per-model means are weighted by their per-seed request
 // counts; PerModel stays nil when no input has a per-model breakdown.
-// Timeline and Tasks are intentionally dropped: per-seed schedules have
-// no meaningful average, so callers wanting them must read the individual
-// per-seed Results.
+// Timeline, Tasks and Exemplars are intentionally dropped: per-seed
+// schedules have no meaningful average, so callers wanting them must read
+// the individual per-seed Results.
 //
 // Every input is checked against CheckOutcomeConservation — a mismatch
 // returns an error instead of silently averaging drifted metrics. The
@@ -169,7 +196,7 @@ func AverageResults(rs []Result) (Result, error) {
 		return Result{}, nil
 	}
 	avg := Result{}
-	var meanLat, p99Lat, makespan float64
+	var meanLat, p50Lat, p95Lat, p99Lat, makespan float64
 	for _, r := range rs {
 		if err := CheckOutcomeConservation(r); err != nil {
 			return Result{}, err
@@ -198,6 +225,8 @@ func AverageResults(rs []Result) (Result, error) {
 		avg.ScaleDowns += r.ScaleDowns
 		avg.EngineSeconds += r.EngineSeconds
 		meanLat += float64(r.MeanLatency)
+		p50Lat += float64(r.P50Latency)
+		p95Lat += float64(r.P95Latency)
 		p99Lat += float64(r.P99Latency)
 		makespan += float64(r.Makespan)
 		// Allocate lazily outside the traversal so nil PerModel still
@@ -256,6 +285,8 @@ func AverageResults(rs []Result) (Result, error) {
 		avg.Offered = avg.Requests + avg.Rejected + avg.LostWork + avg.Dropped
 	}
 	avg.MeanLatency = time.Duration(meanLat / n)
+	avg.P50Latency = time.Duration(p50Lat / n)
+	avg.P95Latency = time.Duration(p95Lat / n)
 	avg.P99Latency = time.Duration(p99Lat / n)
 	avg.Makespan = time.Duration(makespan / n)
 	return avg, nil

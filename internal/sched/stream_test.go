@@ -1,0 +1,113 @@
+package sched_test
+
+import (
+	"reflect"
+	"testing"
+
+	"sparsedysta/internal/core"
+	"sparsedysta/internal/sched"
+	"sparsedysta/internal/trace"
+	"sparsedysta/internal/workload"
+)
+
+// streamFixture builds the shared workload for the streaming tests.
+func streamFixture(t *testing.T, requests int, seed uint64) (*trace.StatsSet, []*workload.Request, workload.Scenario, *trace.Store, workload.GenConfig) {
+	t.Helper()
+	sc := workload.MultiAttNN()
+	prof, eval, err := workload.BuildStores(sc, 20, 60, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lut, err := trace.NewStatsSet(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := workload.GenConfig{Requests: requests, RatePerSec: 40, SLOMultiplier: 10, Seed: seed}
+	reqs, err := workload.Generate(sc, eval, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lut, reqs, sc, eval, cfg
+}
+
+// TestRunStreamMatchesRun pins the lazy-injection equivalence: driving
+// the engine from an iterator produces the byte-identical Result of the
+// materialized Run, for every standard scheduler.
+func TestRunStreamMatchesRun(t *testing.T) {
+	lut, reqs, sc, eval, cfg := streamFixture(t, 400, 3)
+	est := sched.NewEstimator(lut)
+	mks := map[string]func() sched.Scheduler{
+		"FCFS":  func() sched.Scheduler { return sched.NewFCFS() },
+		"SJF":   func() sched.Scheduler { return sched.NewSJF(est) },
+		"PREMA": func() sched.Scheduler { return sched.NewPREMA(est) },
+		"SDRM3": func() sched.Scheduler { return sched.NewSDRM3(est) },
+		"Dysta": func() sched.Scheduler { return core.NewDefault(lut) },
+	}
+	for name, mk := range mks {
+		want, err := sched.Run(mk(), reqs, sched.Options{RecordTasks: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := workload.NewStream(sc, eval, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sched.RunStream(mk(), st, sched.Options{RecordTasks: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("%s: RunStream diverged from Run:\n run:    %+v\n stream: %+v", name, want, got)
+		}
+	}
+}
+
+// TestBoundedCaptureMatchesFull pins the bounded-memory metric
+// contract: every Result field except the histogram-derived latency
+// percentiles and the capture payloads (Tasks, Timeline, Exemplars) is
+// bit-identical between full and bounded capture, and the bounded
+// percentiles sit within one histogram bucket above the exact ones.
+func TestBoundedCaptureMatchesFull(t *testing.T) {
+	lut, reqs, _, _, _ := streamFixture(t, 400, 5)
+	full, err := sched.Run(core.NewDefault(lut), reqs, sched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounded, err := sched.Run(core.NewDefault(lut), reqs,
+		sched.Options{BoundedCapture: true, Exemplars: 16, ExemplarSeed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bounded.Exemplars) != 16 {
+		t.Fatalf("bounded run kept %d exemplars, want 16", len(bounded.Exemplars))
+	}
+
+	// Compare everything except the documented divergences.
+	fullCmp, boundedCmp := full, bounded
+	fullCmp.P50Latency, fullCmp.P95Latency, fullCmp.P99Latency = 0, 0, 0
+	boundedCmp.P50Latency, boundedCmp.P95Latency, boundedCmp.P99Latency = 0, 0, 0
+	fullCmp.Tasks, fullCmp.Timeline, fullCmp.Exemplars = nil, nil, nil
+	boundedCmp.Tasks, boundedCmp.Timeline, boundedCmp.Exemplars = nil, nil, nil
+	if !reflect.DeepEqual(fullCmp, boundedCmp) {
+		t.Errorf("bounded capture diverged beyond percentiles:\n full:    %+v\n bounded: %+v", fullCmp, boundedCmp)
+	}
+
+	for _, p := range []struct {
+		name        string
+		exact, hist int64
+	}{
+		{"p50", int64(full.P50Latency), int64(bounded.P50Latency)},
+		{"p95", int64(full.P95Latency), int64(bounded.P95Latency)},
+		{"p99", int64(full.P99Latency), int64(bounded.P99Latency)},
+	} {
+		// One bucket width at the histogram value is at most hist/32+1;
+		// the interpolated exact quantile can additionally sit up to one
+		// order statistic below the nearest-rank one the histogram
+		// brackets, so allow two widths.
+		slack := 2 * (p.hist/32 + 1)
+		if p.exact > p.hist || p.hist-p.exact > slack {
+			t.Errorf("%s: bounded %d vs exact %d outside histogram error bound %d",
+				p.name, p.hist, p.exact, slack)
+		}
+	}
+}

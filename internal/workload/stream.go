@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"sparsedysta/internal/rng"
+	"sparsedysta/internal/trace"
+	"sparsedysta/internal/traffic"
+)
+
+// Stream is the iterator form of Generate: it draws one request at a
+// time from the scenario's sampling distribution and the configured
+// traffic.Process, never materializing the stream. Generate itself is
+// implemented by draining a Stream, so the two are byte-identical by
+// construction — same seed, same per-request draw order (arrival gap,
+// entry, trace index), same SLO arithmetic. Arrivals are monotone
+// nondecreasing by construction (each gap is non-negative), which is
+// what lets streaming consumers process requests without sorting.
+type Stream struct {
+	entries     []Entry
+	store       *trace.Store
+	cfg         GenConfig
+	totalWeight float64
+	meanIso     map[trace.Key]time.Duration
+	proc        traffic.Process
+	r           *rng.Source
+	now         time.Duration
+	next        int
+}
+
+// NewStream validates the configuration, precomputes the per-entry mean
+// isolated latencies (the SLO bases), and positions the iterator before
+// the first request. The configured Process is Reset here, exactly as
+// Generate resets it, so a stateful process can be reused across
+// streams.
+func NewStream(sc Scenario, store *trace.Store, cfg GenConfig) (*Stream, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(sc.Entries) == 0 {
+		return nil, fmt.Errorf("workload: scenario %q has no entries", sc.Name)
+	}
+	var totalWeight float64
+	meanIso := map[trace.Key]time.Duration{}
+	for _, e := range sc.Entries {
+		traces := store.Get(e.Key())
+		if len(traces) == 0 {
+			return nil, fmt.Errorf("workload: no traces for %v", e.Key())
+		}
+		totalWeight += e.Weight
+		var sum float64
+		for i := range traces {
+			sum += float64(traces[i].Total())
+		}
+		meanIso[e.Key()] = time.Duration(sum / float64(len(traces)))
+	}
+
+	proc := cfg.Process
+	if proc == nil {
+		proc = traffic.NewPoisson(cfg.RatePerSec)
+	}
+	proc.Reset()
+
+	return &Stream{
+		entries:     sc.Entries,
+		store:       store,
+		cfg:         cfg,
+		totalWeight: totalWeight,
+		meanIso:     meanIso,
+		proc:        proc,
+		r:           rng.New(cfg.Seed),
+		next:        0,
+	}, nil
+}
+
+// Len returns the total stream length (GenConfig.Requests).
+func (s *Stream) Len() int { return s.cfg.Requests }
+
+// Next returns the next request, or (nil, false) once the stream is
+// exhausted. The draw order per request — arrival gap, entry, trace
+// index — is the bit-identity contract with Generate.
+func (s *Stream) Next() (*Request, bool) {
+	if s.next >= s.cfg.Requests {
+		return nil, false
+	}
+	s.now += s.proc.Next(s.r, s.now)
+	e := sampleEntry(s.r, s.entries, s.totalWeight)
+	traces := s.store.Get(e.Key())
+	tr := traces[s.r.Intn(len(traces))]
+	sloBase := s.meanIso[e.Key()]
+	if s.cfg.PerSampleSLO {
+		sloBase = tr.Total()
+	}
+	req := &Request{
+		ID:      s.next,
+		Key:     e.Key(),
+		Trace:   tr,
+		Arrival: s.now,
+		SLO:     time.Duration(float64(sloBase) * s.cfg.SLOMultiplier * e.sloFactor()),
+	}
+	s.next++
+	return req, true
+}

@@ -1,0 +1,59 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"sparsedysta/internal/traffic"
+)
+
+// TestStreamMatchesGenerate pins the bit-identity contract between the
+// iterator and the materialized path, for the default inline Poisson
+// and for an explicit bursty process.
+func TestStreamMatchesGenerate(t *testing.T) {
+	sc := MultiAttNN()
+	_, eval, err := BuildStores(sc, 10, 40, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := []GenConfig{
+		{Requests: 200, RatePerSec: 30, SLOMultiplier: 10, Seed: 7},
+		{Requests: 200, RatePerSec: 30, SLOMultiplier: 10, Seed: 7,
+			Process: traffic.Bursty(30, 8, 0.2, 100*time.Millisecond)},
+	}
+	for ci, cfg := range cfgs {
+		reqs, err := Generate(sc, eval, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := NewStream(sc, eval, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Len() != len(reqs) {
+			t.Fatalf("cfg %d: stream length %d != %d generated", ci, st.Len(), len(reqs))
+		}
+		var prev time.Duration
+		for i := 0; ; i++ {
+			got, ok := st.Next()
+			if !ok {
+				if i != len(reqs) {
+					t.Fatalf("cfg %d: stream ended after %d of %d requests", ci, i, len(reqs))
+				}
+				break
+			}
+			want := reqs[i]
+			if got.ID != want.ID || got.Key != want.Key || got.Arrival != want.Arrival ||
+				got.SLO != want.SLO || &got.Trace.LayerLatency[0] != &want.Trace.LayerLatency[0] {
+				t.Fatalf("cfg %d: request %d diverged: stream %+v vs generate %+v", ci, i, got, want)
+			}
+			if got.Arrival < prev {
+				t.Fatalf("cfg %d: arrivals not monotone at request %d", ci, i)
+			}
+			prev = got.Arrival
+		}
+		if _, ok := st.Next(); ok {
+			t.Fatalf("cfg %d: exhausted stream yielded another request", ci)
+		}
+	}
+}

@@ -156,56 +156,22 @@ func (c GenConfig) validate() error {
 
 // Generate samples a request stream from the scenario using evaluation
 // traces from the store. Every scenario entry must have traces in the
-// store (use BuildStores).
+// store (use BuildStores). It is the materialized form of NewStream:
+// the slice it returns is exactly the drained iterator, so the two
+// paths cannot drift apart.
 func Generate(sc Scenario, store *trace.Store, cfg GenConfig) ([]*Request, error) {
-	if err := cfg.validate(); err != nil {
+	st, err := NewStream(sc, store, cfg)
+	if err != nil {
 		return nil, err
 	}
-	if len(sc.Entries) == 0 {
-		return nil, fmt.Errorf("workload: scenario %q has no entries", sc.Name)
-	}
-	var totalWeight float64
-	meanIso := map[trace.Key]time.Duration{}
-	for _, e := range sc.Entries {
-		traces := store.Get(e.Key())
-		if len(traces) == 0 {
-			return nil, fmt.Errorf("workload: no traces for %v", e.Key())
+	reqs := make([]*Request, 0, cfg.Requests)
+	for {
+		req, ok := st.Next()
+		if !ok {
+			return reqs, nil
 		}
-		totalWeight += e.Weight
-		var sum float64
-		for i := range traces {
-			sum += float64(traces[i].Total())
-		}
-		meanIso[e.Key()] = time.Duration(sum / float64(len(traces)))
+		reqs = append(reqs, req)
 	}
-
-	proc := cfg.Process
-	if proc == nil {
-		proc = traffic.NewPoisson(cfg.RatePerSec)
-	}
-	proc.Reset()
-
-	r := rng.New(cfg.Seed)
-	reqs := make([]*Request, cfg.Requests)
-	var now time.Duration
-	for i := range reqs {
-		now += proc.Next(r, now)
-		e := sampleEntry(r, sc.Entries, totalWeight)
-		traces := store.Get(e.Key())
-		tr := traces[r.Intn(len(traces))]
-		sloBase := meanIso[e.Key()]
-		if cfg.PerSampleSLO {
-			sloBase = tr.Total()
-		}
-		reqs[i] = &Request{
-			ID:      i,
-			Key:     e.Key(),
-			Trace:   tr,
-			Arrival: now,
-			SLO:     time.Duration(float64(sloBase) * cfg.SLOMultiplier * e.sloFactor()),
-		}
-	}
-	return reqs, nil
 }
 
 // sampleEntry draws an entry proportionally to weight.
