@@ -123,7 +123,8 @@ func BenchmarkClusterDysta(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		d := cluster.NewLeastLoad("load", cluster.SparsityAwareLoad(lut, est))
+		d := cluster.NewLeastLoad("load", cluster.SparsityAwareLoad(lut, est)).
+			WithCurve(cluster.SparsityAwareCurve(lut, est))
 		if _, err := cluster.Run(func(int) sched.Scheduler { return core.NewDefault(lut) }, reqs,
 			cluster.Config{Engines: 4, Dispatch: d}); err != nil {
 			b.Fatal(err)
@@ -154,16 +155,17 @@ func BenchmarkClusterSteal(b *testing.B) {
 	lut, reqs := benchWorkload(b)
 	est := sched.NewEstimator(lut)
 	load := cluster.SparsityAwareLoad(lut, est)
+	curve := cluster.SparsityAwareCurve(lut, est)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		d := cluster.NewLeastLoad("load", load)
+		d := cluster.NewLeastLoad("load", load).WithCurve(curve)
 		if _, err := cluster.Run(func(int) sched.Scheduler { return core.NewDefault(lut) }, reqs,
 			cluster.Config{
 				Engines:           4,
 				Dispatch:          d,
 				SignalInterval:    20 * time.Millisecond,
-				Rebalance:         cluster.Steal{Load: load},
+				Rebalance:         cluster.Steal{Load: load, Curve: curve},
 				RebalanceInterval: time.Millisecond,
 				MigrationCost:     200 * time.Microsecond,
 			}); err != nil {
@@ -186,10 +188,11 @@ func BenchmarkClusterChurn(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	curve := cluster.SparsityAwareCurve(lut, est)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		d := cluster.NewLeastLoad("load", load)
+		d := cluster.NewLeastLoad("load", load).WithCurve(curve)
 		if _, err := cluster.Run(func(int) sched.Scheduler { return core.NewDefault(lut) }, reqs,
 			cluster.Config{
 				Engines:        4,
@@ -225,10 +228,11 @@ func BenchmarkClusterAutoscale(b *testing.B) {
 		b.Fatal(err)
 	}
 	pol := exp.NewAutoscaler(reqs, 1, 4, load)
+	pol.Curve = cluster.SparsityAwareCurve(lut, est)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		d := cluster.NewLeastLoad("load", load)
+		d := cluster.NewLeastLoad("load", load).WithCurve(pol.Curve)
 		if _, err := cluster.Run(func(int) sched.Scheduler { return core.NewDefault(lut) }, reqs,
 			cluster.Config{
 				Engines:        4,
@@ -259,6 +263,7 @@ func BenchmarkClusterStream1M(b *testing.B) {
 		b.Fatal(err)
 	}
 	cfg := workload.GenConfig{Requests: 1_000_000, RatePerSec: 400, SLOMultiplier: 10, Seed: 1}
+	curve := cluster.SparsityAwareCurve(lut, est)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -266,7 +271,7 @@ func BenchmarkClusterStream1M(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		d := cluster.NewLeastLoad("load", load)
+		d := cluster.NewLeastLoad("load", load).WithCurve(curve)
 		res, err := cluster.RunStream(func(int) sched.Scheduler { return core.NewDefault(lut) },
 			src, cluster.Config{
 				Engines:  16,
@@ -278,6 +283,62 @@ func BenchmarkClusterStream1M(b *testing.B) {
 		}
 		if res.Requests != cfg.Requests {
 			b.Fatalf("streamed %d of %d requests", res.Requests, cfg.Requests)
+		}
+	}
+}
+
+// BenchmarkSignalRefresh measures one SignalBoard.Refresh over 4 engines
+// holding the full 500-request stream: the per-refresh cost every
+// arrival-loop observation pays when the interval elapses. With the
+// engines bound to the run's estimator this is the O(1) incremental sum
+// per engine; the pre-incremental board paid an O(queue) scan here.
+func BenchmarkSignalRefresh(b *testing.B) {
+	lut, reqs := benchWorkload(b)
+	est := sched.NewEstimator(lut)
+	load := cluster.SparsityAwareLoad(lut, est)
+	curve := cluster.SparsityAwareCurve(lut, est)
+	engines := make([]*sched.Engine, 4)
+	for i := range engines {
+		engines[i] = sched.NewEngine(core.NewDefault(lut), sched.Options{
+			BacklogEstimator: load, BacklogCurve: curve})
+	}
+	for i, r := range reqs {
+		if err := engines[i%len(engines)].Inject(r, r.Arrival); err != nil {
+			b.Fatal(err)
+		}
+	}
+	board := cluster.NewSignalBoard(engines, 0, load)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		board.Refresh(time.Duration(i))
+	}
+}
+
+// BenchmarkRebalanceViews measures the rebalancer's per-round cost —
+// live view construction plus Steal planning — by running the steal
+// configuration at a 100µs interval, an order of magnitude more rounds
+// than BenchmarkClusterSteal: the run is dominated by views() and
+// Steal.Plan, the two paths the reused scratch buffers serve.
+func BenchmarkRebalanceViews(b *testing.B) {
+	lut, reqs := benchWorkload(b)
+	est := sched.NewEstimator(lut)
+	load := cluster.SparsityAwareLoad(lut, est)
+	curve := cluster.SparsityAwareCurve(lut, est)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := cluster.NewLeastLoad("load", load).WithCurve(curve)
+		if _, err := cluster.Run(func(int) sched.Scheduler { return core.NewDefault(lut) }, reqs,
+			cluster.Config{
+				Engines:           4,
+				Dispatch:          d,
+				SignalInterval:    20 * time.Millisecond,
+				Rebalance:         cluster.Steal{Load: load, Curve: curve},
+				RebalanceInterval: 100 * time.Microsecond,
+				MigrationCost:     200 * time.Microsecond,
+			}); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

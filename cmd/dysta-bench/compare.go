@@ -22,11 +22,14 @@ const regressionThreshold = 0.30
 
 // gatedBenchmark reports whether a bench entry is held to the regression
 // threshold: the engine and cluster suites (the BenchmarkEngine* and
-// BenchmarkCluster* hot paths). The remaining entries (predictor step,
-// parallel grid) are informational — too short or too machine-dependent
-// to gate on.
+// BenchmarkCluster* hot paths) plus the allocation-lean signal paths
+// (BenchmarkSignalRefresh, BenchmarkRebalanceViews) whose cost profile
+// the incremental-backlog work pins. The remaining entries (predictor
+// step, parallel grid) are informational — too short or too
+// machine-dependent to gate on.
 func gatedBenchmark(name string) bool {
-	return strings.HasPrefix(name, "Engine") || strings.HasPrefix(name, "Cluster")
+	return strings.HasPrefix(name, "Engine") || strings.HasPrefix(name, "Cluster") ||
+		strings.HasPrefix(name, "Signal") || strings.HasPrefix(name, "Rebalance")
 }
 
 // readBenchReport loads one BENCH_*.json.
@@ -64,6 +67,7 @@ func compareBenchJSON(basePath, freshPath string, w io.Writer) error {
 
 	var regressions []string
 	gated := 0
+	var baseAllocs, freshAllocs int64
 	for _, f := range fresh.Results {
 		b, ok := baseline[f.Name]
 		if !ok {
@@ -89,6 +93,8 @@ func compareBenchJSON(basePath, freshPath string, w io.Writer) error {
 			// bounded-memory path must never reintroduce. Baselines written
 			// before the field existed carry 0 and are skipped.
 			if b.AllocsPerOp > 0 {
+				baseAllocs += b.AllocsPerOp
+				freshAllocs += f.AllocsPerOp
 				achange := float64(f.AllocsPerOp)/float64(b.AllocsPerOp) - 1
 				if achange > regressionThreshold {
 					status = "REGRESSION"
@@ -104,6 +110,14 @@ func compareBenchJSON(basePath, freshPath string, w io.Writer) error {
 	}
 	for name := range baseline {
 		fmt.Fprintf(w, "%-22s retired (in baseline only)\n", name)
+	}
+	// The allocation-delta summary: one line aggregating allocs/op across
+	// every gated entry present in both files, so the CI artifact shows
+	// the memory trajectory of a PR at a glance without reading the
+	// per-entry table.
+	if baseAllocs > 0 {
+		fmt.Fprintf(w, "allocs/op summary (gated entries): %d -> %d (%+.1f%%)\n",
+			baseAllocs, freshAllocs, 100*(float64(freshAllocs)/float64(baseAllocs)-1))
 	}
 	if gated == 0 {
 		return fmt.Errorf("bench-compare: no gated Engine*/Cluster* benchmark present in both %s and %s",

@@ -77,8 +77,30 @@ func TestCompareBenchJSON(t *testing.T) {
 	allocOK := writeReport(t, dir, "alloc-ok.json", []BenchRecord{
 		{Name: "ClusterDysta", NsPerOp: 2000, AllocsPerOp: 1200}, // +20%: inside threshold
 	})
-	if err := compareBenchJSON(allocBase, allocOK, &strings.Builder{}); err != nil {
+	var allocOut strings.Builder
+	if err := compareBenchJSON(allocBase, allocOK, &allocOut); err != nil {
 		t.Fatalf("within-threshold alloc growth failed: %v", err)
+	}
+	// The artifact carries the aggregate allocation trajectory.
+	if !strings.Contains(allocOut.String(), "allocs/op summary (gated entries): 1000 -> 1200") {
+		t.Errorf("missing allocs/op summary line:\n%s", allocOut.String())
+	}
+
+	// The signal-path suites are gated like the engine and cluster ones.
+	sigBase := writeReport(t, dir, "sig-base.json", []BenchRecord{
+		{Name: "SignalRefresh", NsPerOp: 100},
+		{Name: "RebalanceViews", NsPerOp: 1000},
+	})
+	sigBad := writeReport(t, dir, "sig-bad.json", []BenchRecord{
+		{Name: "SignalRefresh", NsPerOp: 150}, // +50%: regression
+		{Name: "RebalanceViews", NsPerOp: 1000},
+	})
+	err = compareBenchJSON(sigBase, sigBad, &strings.Builder{})
+	if err == nil {
+		t.Fatal("50% SignalRefresh slowdown passed the gate")
+	}
+	if !strings.Contains(err.Error(), "SignalRefresh") {
+		t.Errorf("regression error does not name the benchmark: %v", err)
 	}
 	// Baselines predating the allocs field carry 0 and must not divide
 	// by it or flag every fresh run.

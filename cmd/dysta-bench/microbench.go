@@ -108,7 +108,8 @@ func runMicroBenchmarks() ([]BenchRecord, error) {
 			// dispatch: the new-subsystem entry of the perf trajectory.
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				d := cluster.NewLeastLoad("load", cluster.SparsityAwareLoad(lut, est))
+				d := cluster.NewLeastLoad("load", cluster.SparsityAwareLoad(lut, est)).
+					WithCurve(cluster.SparsityAwareCurve(lut, est))
 				if _, err := cluster.Run(func(int) sched.Scheduler { return core.NewDefault(lut) },
 					reqs, cluster.Config{Engines: 4, Dispatch: d}); err != nil {
 					b.Fatal(err)
@@ -129,15 +130,16 @@ func runMicroBenchmarks() ([]BenchRecord, error) {
 			// top of the ClusterDysta configuration, covered by the CI
 			// bench-regression gate like every other Cluster* entry.
 			load := cluster.SparsityAwareLoad(lut, est)
+			curve := cluster.SparsityAwareCurve(lut, est)
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				d := cluster.NewLeastLoad("load", load)
+				d := cluster.NewLeastLoad("load", load).WithCurve(curve)
 				if _, err := cluster.Run(func(int) sched.Scheduler { return core.NewDefault(lut) },
 					reqs, cluster.Config{
 						Engines:           4,
 						Dispatch:          d,
 						SignalInterval:    20 * time.Millisecond,
-						Rebalance:         cluster.Steal{Load: load},
+						Rebalance:         cluster.Steal{Load: load, Curve: curve},
 						RebalanceInterval: time.Millisecond,
 						MigrationCost:     200 * time.Microsecond,
 					}); err != nil {
@@ -151,13 +153,14 @@ func runMicroBenchmarks() ([]BenchRecord, error) {
 			// configuration (MTBF chosen so several engines die and
 			// recover within the 500-request stream).
 			load := cluster.SparsityAwareLoad(lut, est)
+			curve := cluster.SparsityAwareCurve(lut, est)
 			plan, err := cluster.GenChurn(4, time.Minute, 2*time.Second, 150*time.Millisecond, 29)
 			if err != nil {
 				b.Fatal(err)
 			}
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				d := cluster.NewLeastLoad("load", load)
+				d := cluster.NewLeastLoad("load", load).WithCurve(curve)
 				if _, err := cluster.Run(func(int) sched.Scheduler { return core.NewDefault(lut) },
 					reqs, cluster.Config{
 						Engines:        4,
@@ -184,10 +187,11 @@ func runMicroBenchmarks() ([]BenchRecord, error) {
 				b.Fatal(err)
 			}
 			pol := exp.NewAutoscaler(burstyReqs, 1, 4, load)
+			pol.Curve = cluster.SparsityAwareCurve(lut, est)
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				d := cluster.NewLeastLoad("load", load)
+				d := cluster.NewLeastLoad("load", load).WithCurve(pol.Curve)
 				if _, err := cluster.Run(func(int) sched.Scheduler { return core.NewDefault(lut) },
 					burstyReqs, cluster.Config{
 						Engines:        4,
@@ -209,6 +213,7 @@ func runMicroBenchmarks() ([]BenchRecord, error) {
 			// steady state: at or past saturation they grow with the
 			// horizon and no capture mode can bound that.
 			load := cluster.SparsityAwareLoad(lut, est)
+			curve := cluster.SparsityAwareCurve(lut, est)
 			cfg := workload.GenConfig{
 				Requests: 1_000_000, RatePerSec: 400, SLOMultiplier: 10, Seed: 1}
 			b.ReportAllocs()
@@ -218,7 +223,7 @@ func runMicroBenchmarks() ([]BenchRecord, error) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				d := cluster.NewLeastLoad("load", load)
+				d := cluster.NewLeastLoad("load", load).WithCurve(curve)
 				res, err := cluster.RunStream(func(int) sched.Scheduler { return core.NewDefault(lut) },
 					src, cluster.Config{
 						Engines:  16,
@@ -230,6 +235,57 @@ func runMicroBenchmarks() ([]BenchRecord, error) {
 				}
 				if res.Requests != cfg.Requests {
 					b.Fatalf("streamed %d of %d requests", res.Requests, cfg.Requests)
+				}
+			}
+		}},
+		{"SignalRefresh", func(b *testing.B) {
+			// One SignalBoard.Refresh over 4 engines holding the full
+			// 500-request stream: the per-refresh cost every arrival-loop
+			// observation pays when the interval elapses. With the engines
+			// bound to the run's estimator this is the O(1) incremental
+			// sum per engine; the pre-incremental board paid an O(queue)
+			// scan here.
+			load := cluster.SparsityAwareLoad(lut, est)
+			curve := cluster.SparsityAwareCurve(lut, est)
+			engines := make([]*sched.Engine, 4)
+			for j := range engines {
+				engines[j] = sched.NewEngine(core.NewDefault(lut), sched.Options{
+					BacklogEstimator: load, BacklogCurve: curve})
+			}
+			for j, r := range reqs {
+				if err := engines[j%len(engines)].Inject(r, r.Arrival); err != nil {
+					b.Fatal(err)
+				}
+			}
+			board := cluster.NewSignalBoard(engines, 0, load)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				board.Refresh(time.Duration(i))
+			}
+		}},
+		{"RebalanceViews", func(b *testing.B) {
+			// The rebalancer's per-round cost — live view construction
+			// plus Steal planning — via the steal configuration at a
+			// 100µs interval: an order of magnitude more rounds than
+			// ClusterSteal, dominated by views() and Steal.Plan, the two
+			// paths the reused scratch buffers serve.
+			load := cluster.SparsityAwareLoad(lut, est)
+			curve := cluster.SparsityAwareCurve(lut, est)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d := cluster.NewLeastLoad("load", load).WithCurve(curve)
+				if _, err := cluster.Run(func(int) sched.Scheduler { return core.NewDefault(lut) },
+					reqs, cluster.Config{
+						Engines:           4,
+						Dispatch:          d,
+						SignalInterval:    20 * time.Millisecond,
+						Rebalance:         cluster.Steal{Load: load, Curve: curve},
+						RebalanceInterval: 100 * time.Microsecond,
+						MigrationCost:     200 * time.Microsecond,
+					}); err != nil {
+					b.Fatal(err)
 				}
 			}
 		}},

@@ -80,6 +80,9 @@ type SLOShed struct {
 	// shed would silently see every queue as empty. Typically the same
 	// estimator the load dispatcher would use (SparsityAwareLoad).
 	Load func(*sched.Task) time.Duration
+	// Curve is Load's optional curve form (see SparsityAwareCurve),
+	// consulted when this policy is the run's load provider.
+	Curve func(*sched.Task) []time.Duration
 }
 
 // Name implements Admission.
@@ -89,6 +92,9 @@ func (SLOShed) Name() string { return "slo" }
 // (loadProvider); the dispatcher's own estimate, if any, takes
 // precedence so routing and admission share one metrics pipeline.
 func (a SLOShed) LoadFunc() func(*sched.Task) time.Duration { return a.Load }
+
+// CurveFunc exposes the estimate's curve form (curveProvider).
+func (a SLOShed) CurveFunc() func(*sched.Task) []time.Duration { return a.Curve }
 
 // Admit implements Admission. Down engines can't save anyone: their
 // snapshots are excluded from the feasibility scan (same rationale as

@@ -64,12 +64,18 @@ type Autoscaler struct {
 	// dispatcher) backlogs are always zero and the policy can only ever
 	// scale down.
 	Load func(*sched.Task) time.Duration
+	// Curve is Load's optional curve form (see SparsityAwareCurve),
+	// consulted when this policy is the run's load provider.
+	Curve func(*sched.Task) []time.Duration
 }
 
 // LoadFunc exposes the estimate to the SignalBoard (loadProvider): an
 // autoscaler needs the Backlog signal maintained even when the
 // dispatcher is load-blind (e.g. round-robin).
 func (a *Autoscaler) LoadFunc() func(*sched.Task) time.Duration { return a.Load }
+
+// CurveFunc exposes the estimate's curve form (curveProvider).
+func (a *Autoscaler) CurveFunc() func(*sched.Task) []time.Duration { return a.Curve }
 
 // start resolves the initial live engine count.
 func (a *Autoscaler) start() int {

@@ -79,6 +79,14 @@ type Config struct {
 	// memory no longer grows with the stream length; Sched.Exemplars
 	// then sizes the cluster-wide exemplar reservoir.
 	Sched sched.Options
+	// debugBacklogAudit, when set (same-package tests only), runs once per
+	// arrival — after churn, rebalancing and autoscaling have acted, before
+	// the arrival observes signals — and once after the final drain, with
+	// the live engine slice and the run's resolved load estimate. The
+	// invariant tests use it to compare every engine's incremental Backlog
+	// sum against the O(n) EstimatedBacklog reference at each dispatch
+	// instant; a returned error fails the run.
+	debugBacklogAudit func(engines []*sched.Engine, load func(*sched.Task) time.Duration) error
 }
 
 // engineSpecs resolves the per-engine specs: Specs verbatim when given,
@@ -245,11 +253,6 @@ func runCluster(newSched func(engine int) sched.Scheduler, src sched.RequestSour
 		admission = AdmitAll{}
 	}
 
-	engines := make([]*sched.Engine, len(specs))
-	for i := range engines {
-		engines[i] = sched.NewEngine(newSched(i), specs[i].Sched)
-	}
-
 	// Migration is active only with a real policy and a positive
 	// interval; otherwise the run takes exactly the pre-migration code
 	// path (the bit-identity anchor the equivalence tests enforce).
@@ -260,7 +263,9 @@ func runCluster(newSched func(engine int) sched.Scheduler, src sched.RequestSour
 	// admission and rebalancing share one metrics pipeline). An inactive
 	// rebalance policy contributes nothing — its load estimate feeding
 	// the Backlog signal would change admission/dispatch behavior and
-	// break the interval-0 bit-identity contract.
+	// break the interval-0 bit-identity contract. The curve form, when the
+	// winning provider serves one, is resolved from that same provider so
+	// the scalar and the curve can never come from different pipelines.
 	providers := []any{dispatch, admission}
 	if migrating {
 		providers = append(providers, cfg.Rebalance)
@@ -271,11 +276,31 @@ func runCluster(newSched func(engine int) sched.Scheduler, src sched.RequestSour
 		providers = append(providers, cfg.Autoscale)
 	}
 	var load func(*sched.Task) time.Duration
+	var curve func(*sched.Task) []time.Duration
 	for _, p := range providers {
 		if lp, ok := p.(loadProvider); ok && lp.LoadFunc() != nil {
 			load = lp.LoadFunc()
+			if cp, ok := p.(curveProvider); ok {
+				curve = cp.CurveFunc()
+			}
 			break
 		}
+	}
+	// Bind the engines' incremental backlog accounting to the run's load
+	// estimate before building them: every signal consumer (board,
+	// rebalancer) then reads an O(1) running sum instead of scanning
+	// queues. The binding lives in the specs, so replacement incarnations
+	// the fault injector builds after a crash inherit it.
+	if load != nil {
+		for i := range specs {
+			specs[i].Sched.BacklogEstimator = load
+			specs[i].Sched.BacklogCurve = curve
+		}
+	}
+
+	engines := make([]*sched.Engine, len(specs))
+	for i := range engines {
+		engines[i] = sched.NewEngine(newSched(i), specs[i].Sched)
 	}
 	board := NewSignalBoard(engines, cfg.SignalInterval, load)
 
@@ -440,6 +465,11 @@ func runCluster(newSched func(engine int) sched.Scheduler, src sched.RequestSour
 			}
 			syncAll()
 		}
+		if cfg.debugBacklogAudit != nil {
+			if err := cfg.debugBacklogAudit(engines, load); err != nil {
+				return Result{}, err
+			}
+		}
 		sig := board.Observe(r.Arrival)
 		// The autoscaler evaluates exactly once per snapshot refresh —
 		// the instants where its view actually changed — before the
@@ -487,6 +517,11 @@ func runCluster(newSched func(engine int) sched.Scheduler, src sched.RequestSour
 	}
 	if err := drain(); err != nil {
 		return Result{}, err
+	}
+	if cfg.debugBacklogAudit != nil {
+		if err := cfg.debugBacklogAudit(engines, load); err != nil {
+			return Result{}, err
+		}
 	}
 	if fi != nil {
 		fi.finish()

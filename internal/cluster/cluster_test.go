@@ -77,13 +77,19 @@ func schedSpecs(est *sched.Estimator, lut *trace.StatsSet) []struct {
 	}
 }
 
-// dispatchers returns a fresh instance of every dispatch policy.
+// dispatchers returns a fresh instance of every dispatch policy. The
+// sparse-load policy appears twice — bare and with its curve form — so
+// every suite built on this fixture exercises both the per-event
+// estimator path and the curve-indexed path of the engines' incremental
+// backlog accounting, which must be bit-identical.
 func dispatchers(est *sched.Estimator, lut *trace.StatsSet) []Dispatcher {
 	return []Dispatcher{
 		NewRoundRobin(),
 		NewJSQ(),
 		NewLeastLoad("blind-load", BlindLoad(est)),
 		NewLeastLoad("sparse-load", SparsityAwareLoad(lut, est)),
+		NewLeastLoad("sparse-load-curve", SparsityAwareLoad(lut, est)).
+			WithCurve(SparsityAwareCurve(lut, est)),
 	}
 }
 

@@ -28,6 +28,18 @@ type loadProvider interface {
 	LoadFunc() func(*sched.Task) time.Duration
 }
 
+// curveProvider is the optional companion of loadProvider: a policy that
+// can also serve its estimate as a per-task remaining curve
+// (sched.Options.BacklogCurve) lets the engines' incremental backlog
+// accounting re-estimate after each executed layer by slice index
+// instead of a LUT lookup. The run takes the curve from the same policy
+// its load estimate came from, so the two can never disagree about what
+// a request costs; a provider without one (or returning nil) leaves the
+// engines on per-event estimator calls — same numbers, more work.
+type curveProvider interface {
+	CurveFunc() func(*sched.Task) []time.Duration
+}
+
 // resettable is implemented by stateful dispatchers; cluster.Run resets
 // them at the start of every run so an instance reused across runs cannot
 // leak state between them.
@@ -125,8 +137,9 @@ func (*JSQ) Pick(sig []EngineSignal, _ *workload.Request, _ time.Duration) int {
 // up to ~40% in effective work across sparsity patterns (paper Fig. 4),
 // so queue length alone misjudges backlog.
 type LeastLoad struct {
-	name string
-	load func(*sched.Task) time.Duration
+	name  string
+	load  func(*sched.Task) time.Duration
+	curve func(*sched.Task) []time.Duration
 }
 
 // NewLeastLoad returns a least-predicted-load dispatcher using the given
@@ -135,11 +148,24 @@ func NewLeastLoad(name string, load func(*sched.Task) time.Duration) *LeastLoad 
 	return &LeastLoad{name: name, load: load}
 }
 
+// WithCurve attaches the curve form of the dispatcher's estimate
+// (typically SparsityAwareCurve beside SparsityAwareLoad) and returns the
+// dispatcher for chaining: the engines then maintain their incremental
+// backlog sums by slice index. The curve must agree with the load
+// estimate; the engines verify the pair at every injection.
+func (d *LeastLoad) WithCurve(curve func(*sched.Task) []time.Duration) *LeastLoad {
+	d.curve = curve
+	return d
+}
+
 // Name implements Dispatcher.
 func (d *LeastLoad) Name() string { return d.name }
 
 // LoadFunc exposes the estimate to the SignalBoard (loadProvider).
 func (d *LeastLoad) LoadFunc() func(*sched.Task) time.Duration { return d.load }
+
+// CurveFunc exposes the estimate's curve form (curveProvider).
+func (d *LeastLoad) CurveFunc() func(*sched.Task) []time.Duration { return d.curve }
 
 // Pick implements Dispatcher. Down engines are excluded exactly as in
 // JSQ.Pick: out of the min-scan, lowest in-service index on ties, full
@@ -193,6 +219,36 @@ func SparsityAwareLoad(lut *trace.StatsSet, est *sched.Estimator) func(*sched.Ta
 	return func(t *sched.Task) time.Duration {
 		if st := lut.Lookup(t.Key); st != nil {
 			return st.AvgRemaining(t.NextLayer)
+		}
+		return blind(t)
+	}
+}
+
+// BlindCurve is the curve form of BlindLoad: the per-model remaining
+// curve for profiled models, nil for unprofiled ones. The nil branch is
+// exact, not a compromise — BlindLoad's MeanIsolated fallback is
+// constant in NextLayer, so the engine's per-event estimator calls
+// return the same value a curve would, just without the slice-index
+// shortcut.
+func BlindCurve(est *sched.Estimator) func(*sched.Task) []time.Duration {
+	return func(t *sched.Task) []time.Duration {
+		if st := est.ModelStats(t.Key.Model); st != nil {
+			return st.RemainingCurve()
+		}
+		return nil
+	}
+}
+
+// SparsityAwareCurve is the curve form of SparsityAwareLoad: the Dysta
+// LUT's per-pattern remaining curve, falling back to the pattern-blind
+// per-model curve, falling back to nil (per-event estimator calls) for
+// traffic the profiling never saw — the same chain, resolved once per
+// injection instead of once per event.
+func SparsityAwareCurve(lut *trace.StatsSet, est *sched.Estimator) func(*sched.Task) []time.Duration {
+	blind := BlindCurve(est)
+	return func(t *sched.Task) []time.Duration {
+		if st := lut.Lookup(t.Key); st != nil {
+			return st.RemainingCurve()
 		}
 		return blind(t)
 	}

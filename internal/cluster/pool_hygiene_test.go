@@ -1,0 +1,60 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"sparsedysta/internal/sched"
+)
+
+// TestPooledRunsByteIdentical is the pooled-object hygiene pin: the same
+// seeded configuration run twice in one process must produce byte-
+// identical results. The first run populates the process-wide task pool,
+// so the second run executes almost entirely on recycled Task structs —
+// any state that leaks through the pool (a field releaseTask forgot to
+// zero, a scheduler retaining a completed task's pointer into its next
+// decision) shows up as divergence here. The config deliberately stacks
+// every recycling-hostile subsystem: bounded capture (the only mode that
+// releases tasks), migration (tasks change engines mid-flight), churn
+// (crash/redistribute paths), and PREMA (the scheduler whose token state
+// is keyed off task identity). CI runs this under -race, which covers
+// the concurrent half of the hygiene claim.
+func TestPooledRunsByteIdentical(t *testing.T) {
+	for seed := uint64(1); seed <= 3; seed++ {
+		reqs, est, lut := randomStream(seed, 120)
+		load := SparsityAwareLoad(lut, est)
+		curve := SparsityAwareCurve(lut, est)
+		plan, err := GenChurn(4, time.Second, 100*time.Millisecond, 20*time.Millisecond, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run := func() Result {
+			res, err := Run(func(int) sched.Scheduler { return sched.NewPREMA(est) }, reqs, Config{
+				Engines:           4,
+				Dispatch:          NewLeastLoad("load", load).WithCurve(curve),
+				SignalInterval:    2 * time.Millisecond,
+				Rebalance:         Steal{Load: load, Curve: curve},
+				RebalanceInterval: time.Millisecond,
+				MigrationCost:     200 * time.Microsecond,
+				Churn:             &plan,
+				RetryMax:          3,
+				Sched: sched.Options{
+					BoundedCapture: true,
+					ScalablePick:   true,
+					Exemplars:      8,
+					ExemplarSeed:   1,
+				},
+			})
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			return res
+		}
+		first, second := run(), run()
+		if !reflect.DeepEqual(first, second) {
+			t.Fatalf("seed %d: pooled rerun diverges from first run:\n%+v\nvs\n%+v",
+				seed, first, second)
+		}
+	}
+}

@@ -75,7 +75,10 @@ type Move struct {
 // function of (views, now, cost) and must only reference eligible task
 // IDs. The Rebalancer executes the plan in order, dropping moves beyond
 // the migration budget, so policies should emit their most valuable
-// moves first.
+// moves first. The views are scratch the Rebalancer rebuilds from live
+// engine state every round, so policies may consume them in place —
+// mutate NormBacklog as planned moves accumulate, truncate or reorder
+// Eligible — instead of copying them.
 type RebalancePolicy interface {
 	// Name identifies the policy in results.
 	Name() string
@@ -112,6 +115,10 @@ type Steal struct {
 	// Candidate.Est through the loadProvider chain. Nil falls back to a
 	// queue-length proxy.
 	Load func(*sched.Task) time.Duration
+	// Curve is Load's optional curve form (see SparsityAwareCurve): it
+	// lets the engines' incremental backlog accounting index instead of
+	// re-estimating. Must agree with Load.
+	Curve func(*sched.Task) []time.Duration
 }
 
 // Name implements RebalancePolicy.
@@ -122,6 +129,9 @@ func (Steal) Name() string { return "steal" }
 // so the whole run shares one metrics pipeline.
 func (s Steal) LoadFunc() func(*sched.Task) time.Duration { return s.Load }
 
+// CurveFunc exposes the estimate's curve form (curveProvider).
+func (s Steal) CurveFunc() func(*sched.Task) []time.Duration { return s.Curve }
+
 // Plan implements RebalancePolicy: for each idle engine in index order,
 // raid the engine with the currently longest normalized backlog. Backlogs
 // are adjusted as moves accumulate so two idle thieves in one round never
@@ -131,13 +141,12 @@ func (s Steal) LoadFunc() func(*sched.Task) time.Duration { return s.Load }
 // near-idle engines would swap their single queued tasks, delaying both
 // by the migration cost for zero gain and burning their once-ever
 // migration allowance.
+// The plan consumes the views in place (the Plan contract permits it):
+// NormBacklog tracks planned moves and Eligible shrinks by swap-delete as
+// candidates are taken. Swap-delete reorders the slice, but the selection
+// is a strict maximum over (Arrival, ID) with unique IDs, so the pick —
+// and therefore the emitted plan — is independent of element order.
 func (Steal) Plan(views []EngineView, _, _ time.Duration) []Move {
-	backlog := make([]float64, len(views))
-	remaining := make([][]Candidate, len(views))
-	for i, v := range views {
-		backlog[i] = v.NormBacklog
-		remaining[i] = append([]Candidate(nil), v.Eligible...)
-	}
 	var moves []Move
 	for thief := range views {
 		if views[thief].Down || views[thief].Outstanding > 1 {
@@ -145,11 +154,11 @@ func (Steal) Plan(views []EngineView, _, _ time.Duration) []Move {
 		}
 		victim := -1
 		for i := range views {
-			if i == thief || views[i].Down || len(remaining[i]) == 0 ||
-				views[i].Outstanding < 2 || backlog[i] <= backlog[thief] {
+			if i == thief || views[i].Down || len(views[i].Eligible) == 0 ||
+				views[i].Outstanding < 2 || views[i].NormBacklog <= views[thief].NormBacklog {
 				continue
 			}
-			if victim < 0 || backlog[i] > backlog[victim] {
+			if victim < 0 || views[i].NormBacklog > views[victim].NormBacklog {
 				victim = i
 			}
 		}
@@ -159,22 +168,24 @@ func (Steal) Plan(views []EngineView, _, _ time.Duration) []Move {
 		// Take up to half the victim's eligible queue, newest arrival
 		// (then highest ID) first, stopping once the imbalance the raid
 		// was fixing is gone.
-		take := (len(remaining[victim]) + 1) / 2
-		for k := 0; k < take && backlog[victim] > backlog[thief]; k++ {
+		take := (len(views[victim].Eligible) + 1) / 2
+		for k := 0; k < take && views[victim].NormBacklog > views[thief].NormBacklog; k++ {
+			rem := views[victim].Eligible
 			best := 0
-			for i, c := range remaining[victim] {
-				b := remaining[victim][best]
+			for i, c := range rem {
+				b := rem[best]
 				if c.Task.Arrival > b.Task.Arrival ||
 					(c.Task.Arrival == b.Task.Arrival && c.Task.ID > b.Task.ID) {
 					best = i
 				}
 			}
-			c := remaining[victim][best]
-			remaining[victim] = append(remaining[victim][:best], remaining[victim][best+1:]...)
+			c := rem[best]
+			rem[best] = rem[len(rem)-1]
+			views[victim].Eligible = rem[:len(rem)-1]
 			moves = append(moves, Move{ID: c.Task.ID, From: victim, To: thief})
 			shift := float64(c.Est)
-			backlog[victim] -= shift * views[victim].LatencyScale
-			backlog[thief] += shift * views[thief].LatencyScale
+			views[victim].NormBacklog -= shift * views[victim].LatencyScale
+			views[thief].NormBacklog += shift * views[thief].LatencyScale
 		}
 	}
 	return moves
@@ -191,6 +202,8 @@ type Shed struct {
 	// Load estimates a queued task's remaining work in reference units
 	// (see Steal.Load).
 	Load func(*sched.Task) time.Duration
+	// Curve is Load's optional curve form (see Steal.Curve).
+	Curve func(*sched.Task) []time.Duration
 }
 
 // Name implements RebalancePolicy.
@@ -200,33 +213,34 @@ func (Shed) Name() string { return "shed" }
 // (loadProvider).
 func (s Shed) LoadFunc() func(*sched.Task) time.Duration { return s.Load }
 
+// CurveFunc exposes the estimate's curve form (curveProvider).
+func (s Shed) CurveFunc() func(*sched.Task) []time.Duration { return s.Curve }
+
 // Plan implements RebalancePolicy: engines in index order, candidates in
 // ascending task-ID order; drain-time predictions are adjusted as moves
 // accumulate.
+// Like Steal.Plan, the plan consumes the views in place: NormBacklog is
+// the working drain-time prediction, updated as moves accumulate.
 func (Shed) Plan(views []EngineView, now, cost time.Duration) []Move {
-	drain := make([]float64, len(views))
-	for i, v := range views {
-		drain[i] = v.NormBacklog
-	}
 	var moves []Move
-	for i, v := range views {
-		if v.Down {
+	for i := range views {
+		if views[i].Down {
 			continue
 		}
-		for _, c := range v.Eligible {
+		for _, c := range views[i].Eligible {
 			// Predicted completion here: behind the engine's whole
 			// normalized backlog (which includes this request).
-			here := float64(now) + drain[i]
+			here := float64(now) + views[i].NormBacklog
 			if here <= float64(c.Task.Deadline()) {
 				continue
 			}
 			service := float64(c.Est)
 			best, bestDone := -1, 0.0
-			for j, w := range views {
-				if j == i || w.Down {
+			for j := range views {
+				if j == i || views[j].Down {
 					continue
 				}
-				done := float64(now+cost) + drain[j] + service*w.LatencyScale
+				done := float64(now+cost) + views[j].NormBacklog + service*views[j].LatencyScale
 				if best < 0 || done < bestDone {
 					best, bestDone = j, done
 				}
@@ -235,8 +249,8 @@ func (Shed) Plan(views []EngineView, now, cost time.Duration) []Move {
 				continue // nobody is predicted to save it: keep it local
 			}
 			moves = append(moves, Move{ID: c.Task.ID, From: i, To: best})
-			drain[i] -= service * v.LatencyScale
-			drain[best] += service * views[best].LatencyScale
+			views[i].NormBacklog -= service * views[i].LatencyScale
+			views[best].NormBacklog += service * views[best].LatencyScale
 		}
 	}
 	return moves
@@ -255,6 +269,17 @@ type Rebalancer struct {
 	last     time.Duration
 	moved    map[int]bool
 	count    int
+	// uniform records that the run has no load estimate and load is the
+	// 1ms placeholder, so a view's backlog is Outstanding() placeholder
+	// units — O(1) instead of a queue scan.
+	uniform bool
+	// viewBuf, eligBuf and migBuf are per-round scratch, reused across
+	// rebalance instants: views() rebuilds them in place, and policies may
+	// consume them (see RebalancePolicy.Plan). One allocation per
+	// high-water mark instead of one per round.
+	viewBuf []EngineView
+	eligBuf [][]Candidate
+	migBuf  []*sched.Task
 }
 
 // bindLiveness attaches the fault injector's availability source: views
@@ -268,7 +293,8 @@ func (rb *Rebalancer) bindLiveness(up func(engine int) bool) { rb.up = up }
 // is handled by Run, not here).
 func newRebalancer(policy RebalancePolicy, engines []*sched.Engine,
 	load func(*sched.Task) time.Duration, interval, cost time.Duration, budget int) *Rebalancer {
-	if load == nil {
+	uniform := load == nil
+	if uniform {
 		// Uniform placeholder so NormBacklog degrades to a capacity-
 		// weighted queue length instead of an all-zero signal.
 		load = func(*sched.Task) time.Duration { return time.Millisecond }
@@ -281,6 +307,9 @@ func newRebalancer(policy RebalancePolicy, engines []*sched.Engine,
 		cost:     cost,
 		budget:   budget,
 		moved:    map[int]bool{},
+		uniform:  uniform,
+		viewBuf:  make([]EngineView, len(engines)),
+		eligBuf:  make([][]Candidate, len(engines)),
 	}
 }
 
@@ -306,23 +335,45 @@ func (rb *Rebalancer) Moved(id int) bool { return rb.moved[id] }
 // that already migrated (once per request, ever — the invariant that
 // makes thrashing structurally impossible: a request's total migration
 // delay is bounded by one cost, and ping-pong cycles cannot form).
+//
+// The backlog is O(1) per engine on every configured path: the engines'
+// incremental sum when they are bound to the run's estimator, the
+// placeholder arithmetic when the run has none. The O(n) EstimatedBacklog
+// scan remains only as the fallback for engines constructed without a
+// BacklogEstimator, and as the reference the invariant tests compare the
+// incremental sum against.
 func (rb *Rebalancer) views() []EngineView {
-	views := make([]EngineView, len(rb.engines))
+	views := rb.viewBuf
 	for i, e := range rb.engines {
-		v := EngineView{
-			Engine:       i,
-			LatencyScale: e.LatencyScale(),
-			Outstanding:  e.Outstanding(),
-			NormBacklog:  float64(e.EstimatedBacklog(rb.load)) * e.LatencyScale(),
-			Down:         rb.up != nil && !rb.up(i),
+		var backlog time.Duration
+		switch {
+		case rb.uniform:
+			// Bit-identical to scanning with the placeholder: every
+			// outstanding request (ready or pending) contributes exactly
+			// one placeholder unit.
+			backlog = time.Duration(e.Outstanding()) * time.Millisecond
+		case e.BacklogBound():
+			backlog = e.Backlog()
+		default:
+			backlog = e.EstimatedBacklog(rb.load)
 		}
-		for _, t := range e.Migratable() {
+		elig := rb.eligBuf[i][:0]
+		rb.migBuf = e.MigratableInto(rb.migBuf[:0])
+		for _, t := range rb.migBuf {
 			if rb.moved[t.ID] {
 				continue
 			}
-			v.Eligible = append(v.Eligible, Candidate{Task: t, Est: rb.load(t)})
+			elig = append(elig, Candidate{Task: t, Est: rb.load(t)})
 		}
-		views[i] = v
+		rb.eligBuf[i] = elig
+		views[i] = EngineView{
+			Engine:       i,
+			LatencyScale: e.LatencyScale(),
+			Outstanding:  e.Outstanding(),
+			NormBacklog:  float64(backlog) * e.LatencyScale(),
+			Eligible:     elig,
+			Down:         rb.up != nil && !rb.up(i),
+		}
 	}
 	return views
 }

@@ -73,9 +73,17 @@ type SignalBoard struct {
 	interval time.Duration
 	load     func(*sched.Task) time.Duration
 	up       func(engine int) bool
-	sig      []EngineSignal
-	last     time.Duration
-	fresh    bool
+	// sig and prev double-buffer the snapshots: Refresh writes the buffer
+	// Observe is NOT currently handing out, then flips. An observed slice
+	// therefore survives exactly one subsequent Refresh unchanged — which
+	// is what lets a mid-iteration refresh (an autoscaler action between a
+	// request's Observe and its dispatch) not mutate the snapshot that
+	// request's admission and routing already hold. Neither buffer is ever
+	// reallocated: two allocations per run, not one per refresh.
+	sig   []EngineSignal
+	prev  []EngineSignal
+	last  time.Duration
+	fresh bool
 	// refreshes counts Refresh calls: the autoscaler keys its evaluation
 	// instants off this, so it runs exactly once per snapshot refresh
 	// instead of once per arrival.
@@ -91,9 +99,11 @@ func NewSignalBoard(engines []*sched.Engine, interval time.Duration, load func(*
 		interval: interval,
 		load:     load,
 		sig:      make([]EngineSignal, len(engines)),
+		prev:     make([]EngineSignal, len(engines)),
 	}
 	for i, e := range engines {
 		b.sig[i].LatencyScale = e.LatencyScale()
+		b.prev[i].LatencyScale = e.LatencyScale()
 	}
 	return b
 }
@@ -101,7 +111,11 @@ func NewSignalBoard(engines []*sched.Engine, interval time.Duration, load func(*
 // Observe returns the per-engine signals as seen at virtual time now,
 // refreshing them first if the board has never refreshed or the last
 // refresh is at least the signal interval old. The returned slice is the
-// board's own; callers must not retain or mutate it across observations.
+// board's own (double-buffered): it stays valid across exactly one
+// subsequent Refresh, so a refresh triggered between an arrival's
+// observation and its dispatch cannot mutate what the arrival observed.
+// Callers must not mutate it, nor retain it across their own next
+// observation.
 func (b *SignalBoard) Observe(now time.Duration) []EngineSignal {
 	if !b.fresh || b.interval == 0 || now-b.last >= b.interval {
 		b.Refresh(now)
@@ -117,17 +131,29 @@ func (b *SignalBoard) Observe(now time.Duration) []EngineSignal {
 func (b *SignalBoard) BindLiveness(up func(engine int) bool) { b.up = up }
 
 // Refresh snapshots every engine's live state unconditionally and stamps
-// the board with now.
+// the board with now. It writes the inactive buffer and flips, leaving
+// the previously observed slice intact (see Observe). The Backlog signal
+// is the engines' incrementally maintained sum when they are bound to the
+// run's estimator — O(1) per engine — with the O(n) EstimatedBacklog scan
+// kept as the fallback for boards over unbound engines (and as the
+// reference the invariant tests compare the sum against).
 func (b *SignalBoard) Refresh(now time.Duration) {
+	next := b.prev
 	for i, e := range b.engines {
-		b.sig[i].Outstanding = e.Outstanding()
+		next[i].Outstanding = e.Outstanding()
 		if b.load != nil {
-			b.sig[i].Backlog = e.EstimatedBacklog(b.load)
+			if e.BacklogBound() {
+				next[i].Backlog = e.Backlog()
+			} else {
+				next[i].Backlog = e.EstimatedBacklog(b.load)
+			}
 		}
 		if b.up != nil {
-			b.sig[i].Down = !b.up(i)
+			next[i].Down = !b.up(i)
 		}
 	}
+	b.prev = b.sig
+	b.sig = next
 	b.last = now
 	b.fresh = true
 	b.refreshes++

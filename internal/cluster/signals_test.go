@@ -71,6 +71,46 @@ func TestSignalBoardCachesBetweenRefreshes(t *testing.T) {
 	}
 }
 
+// TestObservedSnapshotSurvivesRefresh pins the double-buffering contract:
+// a slice handed out by Observe stays valid across exactly one subsequent
+// Refresh. This is the aliasing bug class where an interval-0 autoscaler
+// action mid-arrival forces a refresh between the arrival's Observe and
+// the dispatch that reads it — the scale action at instant t must not
+// mutate the snapshot the same arrival's dispatch is holding.
+func TestObservedSnapshotSurvivesRefresh(t *testing.T) {
+	reqs, est, lut := randomStream(5, 12)
+	load := SparsityAwareLoad(lut, est)
+	engines := []*sched.Engine{
+		sched.NewEngine(sched.NewFCFS(), sched.Options{BacklogEstimator: load}),
+		sched.NewEngine(sched.NewFCFS(), sched.Options{BacklogEstimator: load}),
+	}
+	if err := engines[0].Inject(reqs[0], reqs[0].Arrival); err != nil {
+		t.Fatal(err)
+	}
+	board := NewSignalBoard(engines, 0, load)
+
+	sig := board.Observe(reqs[0].Arrival)
+	frozen := append([]EngineSignal(nil), sig...)
+	// A scale/churn action now mutates engine state and refreshes the
+	// board while the dispatcher still holds sig.
+	if err := engines[1].Inject(reqs[1], reqs[0].Arrival); err != nil {
+		t.Fatal(err)
+	}
+	board.Refresh(reqs[0].Arrival)
+	if !reflect.DeepEqual(sig, frozen) {
+		t.Fatalf("refresh mutated the snapshot a dispatcher was holding:\n%+v\nvs frozen\n%+v", sig, frozen)
+	}
+	// The refresh itself did see the new state: the next observation
+	// reports engine 1's injection.
+	next := board.Observe(reqs[0].Arrival)
+	if next[1].Outstanding != 1 || next[1].Backlog == 0 {
+		t.Fatalf("post-refresh observation missed the injection: %+v", next[1])
+	}
+	if reflect.DeepEqual(next, frozen) {
+		t.Fatal("post-refresh observation identical to the stale snapshot")
+	}
+}
+
 // TestStaleSignalsConcentrateWork: with a refresh interval spanning many
 // arrivals, every state-aware policy routes whole bursts to whichever
 // engine looked emptiest at the last refresh — so the cluster must end up

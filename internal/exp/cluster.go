@@ -27,9 +27,11 @@ func NewDispatcher(name string, p *Pipeline) (cluster.Dispatcher, error) {
 	case "jsq":
 		return cluster.NewJSQ(), nil
 	case "load":
-		return cluster.NewLeastLoad("load", cluster.SparsityAwareLoad(p.LUT, p.Est)), nil
+		return cluster.NewLeastLoad("load", cluster.SparsityAwareLoad(p.LUT, p.Est)).
+			WithCurve(cluster.SparsityAwareCurve(p.LUT, p.Est)), nil
 	case "blind-load":
-		return cluster.NewLeastLoad("blind-load", cluster.BlindLoad(p.Est)), nil
+		return cluster.NewLeastLoad("blind-load", cluster.BlindLoad(p.Est)).
+			WithCurve(cluster.BlindCurve(p.Est)), nil
 	}
 	return nil, fmt.Errorf("exp: unknown dispatch policy %q (valid: %v)", name, DispatchPolicies)
 }
@@ -57,8 +59,9 @@ func NewAdmission(name string, p *Pipeline) (cluster.Admission, error) {
 		return cluster.QueueCap{Cap: n}, nil
 	case name == "slo":
 		return cluster.SLOShed{
-			Iso:  cluster.RequestIsolated(p.LUT, p.Est),
-			Load: cluster.SparsityAwareLoad(p.LUT, p.Est),
+			Iso:   cluster.RequestIsolated(p.LUT, p.Est),
+			Load:  cluster.SparsityAwareLoad(p.LUT, p.Est),
+			Curve: cluster.SparsityAwareCurve(p.LUT, p.Est),
 		}, nil
 	}
 	return nil, fmt.Errorf("exp: unknown admission policy %q (valid: %v)", name, AdmissionPolicies)
@@ -78,9 +81,15 @@ func NewRebalancer(name string, p *Pipeline) (cluster.RebalancePolicy, error) {
 	case "", "none":
 		return cluster.NoRebalance{}, nil
 	case "steal":
-		return cluster.Steal{Load: cluster.SparsityAwareLoad(p.LUT, p.Est)}, nil
+		return cluster.Steal{
+			Load:  cluster.SparsityAwareLoad(p.LUT, p.Est),
+			Curve: cluster.SparsityAwareCurve(p.LUT, p.Est),
+		}, nil
 	case "shed":
-		return cluster.Shed{Load: cluster.SparsityAwareLoad(p.LUT, p.Est)}, nil
+		return cluster.Shed{
+			Load:  cluster.SparsityAwareLoad(p.LUT, p.Est),
+			Curve: cluster.SparsityAwareCurve(p.LUT, p.Est),
+		}, nil
 	}
 	return nil, fmt.Errorf("exp: unknown rebalance policy %q (valid: %v)", name, RebalancePolicies)
 }

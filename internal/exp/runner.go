@@ -135,6 +135,7 @@ func (p *Pipeline) runCell(spec SchedSpec, pt Point, seed int, opts Options) (sc
 				max = engines
 			}
 			cfg.Autoscale = NewAutoscaler(reqs, min, max, cluster.SparsityAwareLoad(p.LUT, p.Est))
+			cfg.Autoscale.Curve = cluster.SparsityAwareCurve(p.LUT, p.Est)
 		}
 		if opts.Churn {
 			// The fail/recover schedule is a pure function of the seed

@@ -1,7 +1,9 @@
 package sched
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 	"sort"
 	"time"
 
@@ -62,6 +64,27 @@ type Options struct {
 	// the service contract of the reference hardware, independent of
 	// which device serves the request.
 	LatencyScale float64
+	// BacklogEstimator, when non-nil, arms O(1) incremental backlog
+	// accounting: the engine maintains a running sum of the estimate over
+	// every outstanding task, updated at injection, adoption, extraction,
+	// crash, and after each executed layer, and serves it through
+	// Backlog(). The estimator must be a pure function of (t.Key,
+	// t.NextLayer) — the same contract EstimatedBacklog's load argument
+	// has — so the running integer sum is bit-identical to the O(n) scan
+	// at every instant. The cluster layer binds the run's shared load
+	// estimate here so SignalBoard refreshes and rebalance rounds stop
+	// walking queues.
+	BacklogEstimator func(*Task) time.Duration
+	// BacklogCurve optionally accelerates the accounting: curve(t), when
+	// non-nil, must satisfy curve(t)[l] == BacklogEstimator(t') for every
+	// t' equal to t at NextLayer l (indices past len(curve)-1 mean 0), so
+	// the engine resolves the curve once per enrollment and re-estimates
+	// after each executed layer by slice index instead of an estimator
+	// call. A nil curve for a given task falls back to per-event
+	// estimator calls; a curve that disagrees with the estimator at
+	// enrollment fails the run (the cross-check that keeps the O(1) sum
+	// honest). Ignored without BacklogEstimator.
+	BacklogCurve func(*Task) []time.Duration
 }
 
 // Engine is one steppable simulated accelerator: a discrete-event,
@@ -89,6 +112,13 @@ type Engine struct {
 	opts     Options
 	// scale is the effective latency scale (Options.LatencyScale, 0 → 1).
 	scale float64
+
+	// est/curve are Options.BacklogEstimator/BacklogCurve; backlog is the
+	// running estimate sum over outstanding tasks they maintain (always
+	// equal to EstimatedBacklog(est) — the invariant tests pin it).
+	est     func(*Task) time.Duration
+	curve   func(*Task) []time.Duration
+	backlog time.Duration
 
 	now     time.Duration
 	ready   ReadyQueue
@@ -130,6 +160,10 @@ func NewEngine(s Scheduler, opts Options) *Engine {
 	if e.scale <= 0 {
 		e.scale = 1
 	}
+	e.est = opts.BacklogEstimator
+	if e.est != nil {
+		e.curve = opts.BacklogCurve
+	}
 	if inc, ok := s.(IncrementalScheduler); ok && !opts.ReferencePick {
 		e.inc = inc
 	}
@@ -170,6 +204,9 @@ func (e *Engine) Inject(r *workload.Request, now time.Duration) error {
 	if now > eff {
 		eff = now
 	}
+	if err := e.accountAdd(t); err != nil {
+		return err
+	}
 	if e.injected == 0 || t.Arrival < e.firstArrival {
 		e.firstArrival = t.Arrival
 	}
@@ -199,6 +236,7 @@ func (e *Engine) Extract(id int) (*Task, error) {
 	}
 	// Undelivered requests first: the scheduler never saw them.
 	if t, ok := e.pending.removeByID(id); ok {
+		e.accountRemove(t)
 		e.injected--
 		e.forgetArrival(t)
 		return t, nil
@@ -217,6 +255,7 @@ func (e *Engine) Extract(id int) (*Task, error) {
 		}
 		x.OnExtract(t, e.now)
 		e.ready.remove(t)
+		e.accountRemove(t)
 		e.injected--
 		e.forgetArrival(t)
 		return t, nil
@@ -248,12 +287,14 @@ func (e *Engine) Crash(now time.Duration) (queued, started []*Task, err error) {
 	for len(e.pending.entries) > 0 {
 		t := e.pending.entries[0].t
 		e.pending.removeAt(0)
+		e.accountRemove(t)
 		t.Attachment = nil
 		t.heapIndex = -1
 		queued = append(queued, t)
 	}
 	for _, t := range append([]*Task(nil), e.ready.Tasks()...) {
 		e.ready.remove(t)
+		e.accountRemove(t)
 		t.Attachment = nil
 		t.heapIndex = -1
 		if t.NextLayer == 0 {
@@ -349,6 +390,9 @@ func (e *Engine) Adopt(t *Task, at time.Duration) error {
 	if t.Arrival > eff {
 		eff = t.Arrival
 	}
+	if err := e.accountAdd(t); err != nil {
+		return err
+	}
 	if e.injected == 0 || t.Arrival < e.firstArrival {
 		e.firstArrival = t.Arrival
 	}
@@ -362,8 +406,15 @@ func (e *Engine) Adopt(t *Task, at time.Duration) error {
 // internal order is scan-order-free, so callers get a deterministic view).
 // The running task (if any) and everything that has executed a layer are
 // excluded.
-func (e *Engine) Migratable() []*Task {
-	var out []*Task
+func (e *Engine) Migratable() []*Task { return e.MigratableInto(nil) }
+
+// MigratableInto is Migratable appending into a caller-owned buffer
+// (passed with len 0), the allocation-free form rebalance rounds use:
+// the returned slice shares the buffer's storage and is valid until its
+// next reuse. The sort is comparison-based over plain ints, so it
+// allocates nothing either.
+func (e *Engine) MigratableInto(buf []*Task) []*Task {
+	out := buf
 	for _, t := range e.ready.Tasks() {
 		if t.NextLayer == 0 {
 			out = append(out, t)
@@ -372,7 +423,7 @@ func (e *Engine) Migratable() []*Task {
 	for i := range e.pending.entries {
 		out = append(out, e.pending.entries[i].t)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	slices.SortFunc(out, func(a, b *Task) int { return cmp.Compare(a.ID, b.ID) })
 	return out
 }
 
@@ -427,10 +478,102 @@ func (e *Engine) scaleDur(d time.Duration) time.Duration {
 	return time.Duration(float64(d) * e.scale)
 }
 
+// estimate evaluates the bound backlog estimator for a task at its
+// current NextLayer: a slice index when the task carries a resolved
+// curve, an estimator call otherwise.
+func (e *Engine) estimate(t *Task) time.Duration {
+	if t.estCurve != nil {
+		if t.NextLayer < len(t.estCurve) {
+			return t.estCurve[t.NextLayer]
+		}
+		return 0
+	}
+	return e.est(t)
+}
+
+// accountAdd enrolls a task entering the engine (Inject/Adopt) in the
+// incremental backlog sum, resolving its estimate curve. The one scalar
+// estimator call per enrollment cross-checks a resolved curve against the
+// estimator it claims to accelerate, so mis-wired curves fail loudly at
+// the injection instant instead of silently skewing every signal after
+// it.
+func (e *Engine) accountAdd(t *Task) error {
+	if e.est == nil {
+		return nil
+	}
+	t.estCurve = nil
+	if e.curve != nil {
+		t.estCurve = e.curve(t)
+	}
+	amt := e.est(t)
+	if t.estCurve != nil {
+		if c := e.estimate(t); c != amt {
+			return fmt.Errorf(
+				"sched: BacklogCurve disagrees with BacklogEstimator for task %d at layer %d (%v vs %v)",
+				t.ID, t.NextLayer, c, amt)
+		}
+	}
+	t.estAccounted = amt
+	e.backlog += amt
+	return nil
+}
+
+// accountRemove strikes a departing task (completion, Extract, Crash)
+// from the incremental backlog sum and clears its accounting state: the
+// curve belongs to the engine that resolved it, so an adopting engine
+// re-resolves from scratch.
+func (e *Engine) accountRemove(t *Task) {
+	if e.est == nil {
+		return
+	}
+	e.backlog -= t.estAccounted
+	t.estAccounted = 0
+	t.estCurve = nil
+}
+
+// accountStep re-evaluates the running task's contribution after an
+// executed layer: the only per-event accounting update, O(1) by curve
+// index (or one estimator call without a curve).
+func (e *Engine) accountStep(t *Task) {
+	if e.est == nil {
+		return
+	}
+	amt := e.estimate(t)
+	e.backlog += amt - t.estAccounted
+	t.estAccounted = amt
+}
+
+// BacklogBound reports whether the engine maintains the incremental
+// backlog sum (Options.BacklogEstimator was set).
+func (e *Engine) BacklogBound() bool { return e.est != nil }
+
+// Backlog returns the engine's incrementally maintained backlog estimate:
+// the sum of Options.BacklogEstimator over every outstanding task, in
+// reference-hardware units — bit-identical to
+// EstimatedBacklog(Options.BacklogEstimator), at O(1) instead of a queue
+// walk. Zero (and meaningless) when no estimator is bound; callers gate
+// on BacklogBound.
+func (e *Engine) Backlog() time.Duration { return e.backlog }
+
 // EstimatedBacklog sums load(t) over every outstanding task, the
 // engine-load signal cluster dispatchers use. load typically wraps a
 // profiling estimate (Estimator.Remaining, or the Dysta LUT's per-pattern
 // AvgRemaining); it must not mutate the task.
+//
+// Visibility-delayed pending tasks — freshly adopted migrants still
+// paying MigrationCost, or requests a dispatcher injected ahead of their
+// arrival — count identically to delivered ready tasks. This is the
+// intended semantics, not an accident: an outstanding request is
+// committed future work for this engine whether or not the scheduler can
+// see it yet, and a backlog that ignored in-flight adoptions would make
+// the adopting engine look idle at exactly the instant the rebalancer
+// (or dispatcher) is deciding whether to send it more. The
+// pending-counts-fully regression test pins this, and the incremental
+// sum (Backlog) implements the same spec.
+//
+// With a BacklogEstimator bound, this scan remains the O(n) reference
+// the invariant tests compare Backlog against; hot paths (SignalBoard
+// refreshes, rebalancer views) read the incremental sum instead.
 func (e *Engine) EstimatedBacklog(load func(*Task) time.Duration) time.Duration {
 	var sum time.Duration
 	for _, t := range e.ready.Tasks() {
@@ -517,6 +660,7 @@ func (e *Engine) Step() (time.Duration, error) {
 		pick.Done = true
 		pick.Completion = e.now
 		e.ready.remove(pick)
+		e.accountRemove(pick)
 		e.nDone++
 		turn := e.now - pick.Arrival
 		if e.bounded {
@@ -529,8 +673,22 @@ func (e *Engine) Step() (time.Duration, error) {
 		if e.opts.Observer != nil {
 			e.opts.Observer(outcomeOf(pick))
 		}
+	} else {
+		e.accountStep(pick)
 	}
 	e.s.OnLayerComplete(pick, layer, pick.monitoredSparsity(layer), e.now)
+	if pick.Done && e.bounded {
+		// Bounded capture retains nothing per request past this point
+		// (the aggregates and exemplar reservoir hold copies), so the
+		// task goes back to the pool. e.last must not dangle into the
+		// pool: nil carries the same "no preemption on the next pick"
+		// meaning Done did. Full capture keeps tasks in e.done until
+		// Finish and never pools them.
+		if e.last == pick {
+			e.last = nil
+		}
+		releaseTask(pick)
+	}
 	return e.now, nil
 }
 

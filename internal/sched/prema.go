@@ -249,6 +249,15 @@ func (p *PREMA) OnLayerComplete(t *Task, _ int, _ float64, now time.Duration) {
 			p.dropScalable(s, t)
 		}
 		t.Attachment = nil
+		if p.lastPick == t {
+			// A completed task is never in the ready queue, so every
+			// lastPick comparison against ready tasks already fails —
+			// clearing it is behaviorally free, and mandatory: under
+			// bounded capture the engine recycles completed tasks, and a
+			// dangling lastPick would spuriously grant running-task
+			// candidacy to whichever new request reuses the allocation.
+			p.lastPick = nil
+		}
 		return
 	}
 	s := p.state(t)

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"sync"
 	"time"
 
 	"sparsedysta/internal/trace"
@@ -44,7 +45,10 @@ type Task struct {
 	// never shared. The engine ignores it.
 	Attachment any
 
-	tr *trace.SampleTrace
+	// tr is the ground-truth sample trace, embedded by value: the struct
+	// is two slice headers, so copying it at construction is cheaper than
+	// the per-request heap allocation a pointer would cost.
+	tr trace.SampleTrace
 	// trueTotal caches the trace's end-to-end latency; trueRemaining is
 	// maintained by the engine as layers execute so TrueRemaining is O(1)
 	// instead of re-summing the trace suffix.
@@ -53,16 +57,43 @@ type Task struct {
 	// (-1 when not queued); heapIndex is its position in the active
 	// scheduler's TaskHeap (-1 when absent).
 	queueIndex, heapIndex int
+	// estCurve and estAccounted belong to the owning engine's incremental
+	// backlog accounting (Options.BacklogEstimator): estAccounted is the
+	// amount this task currently contributes to the engine's running
+	// backlog sum, and estCurve, when non-nil, is the cached per-layer
+	// remaining-estimate curve (indexed by NextLayer) that makes the
+	// post-layer re-estimate a slice index instead of an estimator call.
+	estCurve     []time.Duration
+	estAccounted time.Duration
 }
+
+// taskPool recycles Task structs across requests. Tasks are released only
+// by bounded-capture engines at the completion instant (full capture
+// retains every completed task until Finish, so those are never pooled);
+// newTask reinitializes every field, so a recycled struct is
+// indistinguishable from a fresh one and pool reuse can never leak state
+// across requests or runs.
+var taskPool = sync.Pool{New: func() any { return new(Task) }}
 
 // newTask wraps a workload request.
 func newTask(r *workload.Request) *Task {
-	tr := r.Trace
-	total := tr.Total()
-	return &Task{ID: r.ID, Key: r.Key, Arrival: r.Arrival, SLO: r.SLO,
-		LastRun: r.Arrival, tr: &tr,
+	total := r.Trace.Total()
+	t := taskPool.Get().(*Task)
+	*t = Task{ID: r.ID, Key: r.Key, Arrival: r.Arrival, SLO: r.SLO,
+		LastRun: r.Arrival, tr: r.Trace,
 		trueTotal: total, trueRemaining: total,
 		queueIndex: -1, heapIndex: -1}
+	return t
+}
+
+// releaseTask returns a completed task to the pool. Only the engine's
+// bounded-capture completion path calls it, after the scheduler's final
+// OnLayerComplete: past that point nothing in the engine, the cluster
+// layer, or the capture machinery retains the pointer (observers and
+// exemplar reservoirs receive TaskOutcome copies).
+func releaseTask(t *Task) {
+	*t = Task{}
+	taskPool.Put(t)
 }
 
 // NumLayers returns the task's layer count.
@@ -112,6 +143,9 @@ func (t *Task) Restart() {
 	t.Attachment = nil
 	t.trueRemaining = t.trueTotal
 	t.queueIndex, t.heapIndex = -1, -1
+	// Backlog-accounting state belongs to the engine that owned the task;
+	// the adopting engine re-resolves both on arrival.
+	t.estCurve, t.estAccounted = nil, 0
 }
 
 // Violated reports whether the task finished past its deadline (or, if

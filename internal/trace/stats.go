@@ -108,6 +108,15 @@ func Summarize(k Key, traces []SampleTrace) (*Stats, error) {
 	return st, nil
 }
 
+// RemainingCurve returns the per-layer remaining-latency curve c, with
+// c[l] == AvgRemaining(l) for 0 <= l <= NumLayers (c[NumLayers] is 0).
+// The slice is the Stats' own suffix table, shared across callers:
+// read-only, never to be mutated. Engines cache it per task so that
+// re-evaluating the remaining-work estimate after each executed layer is
+// a slice index instead of a LUT lookup (the incremental-backlog hot
+// path).
+func (s *Stats) RemainingCurve() []time.Duration { return s.suffix }
+
 // AvgRemaining returns the mean isolated latency of layers from index
 // `from` to the end; from == NumLayers yields 0.
 func (s *Stats) AvgRemaining(from int) time.Duration {
